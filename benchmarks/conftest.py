@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper using the
+experiment runners in :mod:`repro.experiments`.  The active profile is chosen
+with the ``REPRO_PROFILE`` environment variable (``smoke`` / ``fast`` /
+``full``); rendered tables are printed and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output capturing.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active execution profile for all benchmarks."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered ResultTable under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, table):
+        text = table.render()
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _save

@@ -1,0 +1,56 @@
+"""Air-quality imputation with simulated sensor failures (AQI-36 scenario).
+
+Reproduces the paper's motivating use case: an air-quality monitoring network
+whose stations suffer long outages.  PriSTI is trained with the
+hybrid/historical mask strategy (as on AQI-36) and compared against the
+strongest autoregressive baseline (GRIN-style) and the classic statistics.
+
+Run with::
+
+    python examples/air_quality_imputation.py
+"""
+
+from repro import PriSTI
+from repro.baselines import GRINImputer, KNNImputer, MeanImputer
+from repro.data import aqi36_like
+from repro.experiments import build_pristi_config, get_profile
+from repro.metrics import ResultTable
+
+
+def main():
+    profile = get_profile("smoke")
+    dataset = aqi36_like(num_nodes=10, num_days=12, steps_per_day=24,
+                         missing_pattern="failure", seed=0)
+    print(dataset)
+    print(f"original missing rate : {dataset.original_missing_rate():.1%}")
+    print(f"injected (evaluation) : {dataset.injected_missing_rate():.1%}\n")
+
+    table = ResultTable(title="Air-quality imputation under simulated sensor failure")
+
+    for method in (MeanImputer(), KNNImputer()):
+        method.fit(dataset)
+        metrics = method.evaluate(dataset, segment="test")
+        table.add(method.name, "MAE", metrics["mae"])
+        table.add(method.name, "MSE", metrics["mse"])
+
+    grin = GRINImputer(window_length=profile.window_length, hidden_size=profile.channels,
+                       epochs=profile.deep_epochs, iterations_per_epoch=profile.deep_iterations,
+                       batch_size=profile.batch_size)
+    grin.fit(dataset)
+    metrics = grin.evaluate(dataset, segment="test")
+    table.add("GRIN", "MAE", metrics["mae"])
+    table.add("GRIN", "MSE", metrics["mse"])
+
+    config = build_pristi_config(profile, "aqi36", "failure")
+    pristi = PriSTI(config)
+    pristi.fit(dataset)
+    metrics = pristi.evaluate(dataset, segment="test", num_samples=profile.num_samples)
+    table.add("PriSTI", "MAE", metrics["mae"])
+    table.add("PriSTI", "MSE", metrics["mse"])
+    table.add("PriSTI", "CRPS", metrics["crps"])
+
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Case study: probabilistic imputation bands for individual sensors (Fig. 6).
+
+The paper visualises, per sensor, the observed points, the ground truth of the
+missing values and the 0.05–0.95 quantile band of the generated samples.  This
+script reproduces the analysis textually: for a handful of sensors in a
+block-missing traffic window it prints an ASCII strip chart of the median
+imputation, the band width and the fraction of held-out truth covered by the
+band.
+
+Run with::
+
+    python examples/case_study.py
+"""
+
+import numpy as np
+
+from repro import PriSTI
+from repro.data import metr_la_like
+from repro.experiments import build_pristi_config, get_profile
+from repro.metrics import interval_coverage
+
+
+def ascii_strip(values, width=60):
+    """Render a series as a coarse ASCII strip chart."""
+    values = np.asarray(values, dtype=float)
+    low, high = values.min(), values.max()
+    span = max(high - low, 1e-9)
+    levels = " .:-=+*#%@"
+    indices = ((values - low) / span * (len(levels) - 1)).astype(int)
+    return "".join(levels[i] for i in indices[:width])
+
+
+def main():
+    profile = get_profile("smoke")
+    dataset = metr_la_like(num_nodes=10, num_days=10, steps_per_day=24,
+                           missing_pattern="block", seed=3)
+    model = PriSTI(build_pristi_config(profile, "metr-la", "block"))
+    model.fit(dataset)
+    result = model.impute(dataset, segment="test", num_samples=profile.num_samples)
+
+    values, observed, evaluation = dataset.segment("test")
+    low = np.quantile(result.samples, 0.05, axis=0)
+    high = np.quantile(result.samples, 0.95, axis=0)
+
+    print("Per-sensor probabilistic imputation (test split)\n")
+    for sensor in range(min(5, dataset.num_nodes)):
+        sensor_eval = evaluation[:, sensor]
+        print(f"sensor {sensor:02d}  observed={observed[:, sensor].mean():.0%} "
+              f"targets={int(sensor_eval.sum())}")
+        print(f"  truth : {ascii_strip(values[:, sensor])}")
+        print(f"  median: {ascii_strip(result.median[:, sensor])}")
+        if sensor_eval.sum():
+            band = (high[:, sensor] - low[:, sensor])[sensor_eval].mean()
+            mask = np.zeros_like(evaluation)
+            mask[:, sensor] = sensor_eval
+            coverage = interval_coverage(result.samples, values, mask)
+            print(f"  0.05-0.95 band width on targets: {band:.2f}, coverage: {coverage:.0%}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Downstream forecasting on imputed data (Table V scenario).
+
+Imputation is rarely the end goal: the paper shows that forecasting models
+trained on better-imputed data predict better.  This script imputes an
+air-quality-style dataset with linear interpolation and with PriSTI, trains
+the same Graph-WaveNet forecaster on each version, and prints the forecasting
+MAE / RMSE next to the raw (unimputed) data.
+
+Run with::
+
+    python examples/downstream_forecasting.py
+"""
+
+import numpy as np
+
+from repro import PriSTI
+from repro.baselines import LinearInterpolationImputer
+from repro.data import aqi36_like
+from repro.experiments import build_pristi_config, get_profile
+from repro.forecasting import ForecastingTask
+from repro.metrics import ResultTable
+
+
+def impute_everything(method, dataset, num_samples=4):
+    """Impute train/valid/test and stitch the segments back together."""
+    pieces = [method.impute(dataset, segment=name, num_samples=num_samples).median
+              for name in ("train", "valid", "test")]
+    return np.concatenate(pieces, axis=0)
+
+
+def main():
+    profile = get_profile("smoke")
+    dataset = aqi36_like(num_nodes=10, num_days=14, steps_per_day=24,
+                         missing_pattern="failure", seed=1)
+
+    task_kwargs = dict(history=8, horizon=8, channels=profile.channels, layers=2,
+                       epochs=profile.forecast_epochs,
+                       iterations_per_epoch=profile.forecast_iterations,
+                       batch_size=profile.batch_size)
+
+    table = ResultTable(title="Forecasting on imputed air-quality data")
+
+    def forecast(series, label):
+        metrics = ForecastingTask(**task_kwargs).run(series, dataset.adjacency,
+                                                     eval_mask=dataset.observed_mask)
+        table.add(label, "MAE", metrics["mae"])
+        table.add(label, "RMSE", metrics["rmse"])
+
+    forecast(dataset.values * dataset.input_mask, "Ori. (no imputation)")
+
+    linear = LinearInterpolationImputer().fit(dataset)
+    forecast(impute_everything(linear, dataset), "Lin-ITP")
+
+    pristi = PriSTI(build_pristi_config(profile, "aqi36", "failure"))
+    pristi.fit(dataset)
+    forecast(impute_everything(pristi, dataset, num_samples=profile.num_samples), "PriSTI")
+
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

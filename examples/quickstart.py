@@ -1,0 +1,55 @@
+"""Quickstart: train PriSTI on a synthetic traffic dataset and impute the test set.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a METR-LA-style synthetic sensor network with block-missing
+evaluation targets, trains a small PriSTI model on CPU, imputes the test split
+and prints the masked MAE / MSE / CRPS together with a comparison against
+linear interpolation.
+"""
+
+from repro import PriSTI, PriSTIConfig
+from repro.baselines import LinearInterpolationImputer
+from repro.data import metr_la_like
+
+
+def main():
+    # 1. Build a dataset: 12 virtual traffic sensors, 10 days of 5-minute-style
+    #    readings, block-missing evaluation targets.
+    dataset = metr_la_like(num_nodes=12, num_days=10, steps_per_day=24,
+                           missing_pattern="block", seed=0)
+    print(dataset)
+
+    # 2. Configure and train PriSTI.  `fast()` keeps everything CPU-friendly;
+    #    `PriSTIConfig.paper("metr-la")` reproduces Table II instead.
+    config = PriSTIConfig.fast(
+        window_length=16,
+        epochs=10,
+        iterations_per_epoch=10,
+        num_diffusion_steps=20,
+        num_samples=8,
+        condition_dropout=0.5,
+        learning_rate=2e-3,
+    )
+    model = PriSTI(config)
+    model.fit(dataset, verbose=True)
+
+    # 3. Impute the test split and evaluate on the artificially removed values.
+    result = model.impute(dataset, segment="test", num_samples=8)
+    metrics = result.metrics()
+    print("\nPriSTI test metrics")
+    for name, value in metrics.items():
+        print(f"  {name:5s} = {value:.4f}")
+
+    # 4. Compare with the linear-interpolation baseline.
+    baseline = LinearInterpolationImputer().fit(dataset)
+    baseline_metrics = baseline.evaluate(dataset, segment="test")
+    print("\nLinear interpolation baseline")
+    for name in ("mae", "mse", "rmse"):
+        print(f"  {name:5s} = {baseline_metrics[name]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

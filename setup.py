@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments that lack the ``wheel`` package
+(``python setup.py develop``), which modern editable installs would otherwise
+require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""PriSTI reproduction: conditional diffusion for spatiotemporal imputation.
+
+The package re-implements the system described in "PriSTI: A Conditional
+Diffusion Framework for Spatiotemporal Imputation" (ICDE 2023) together with
+every substrate it depends on: a numpy autodiff engine, neural network
+layers, diffusion machinery, synthetic sensor-network datasets, the full
+baseline zoo and the evaluation harness.
+
+Typical usage::
+
+    from repro import PriSTI, PriSTIConfig
+    from repro.data import metr_la_like
+
+    dataset = metr_la_like(missing_pattern="block")
+    model = PriSTI(PriSTIConfig.fast())
+    model.fit(dataset)
+    print(model.evaluate(dataset, segment="test"))
+"""
+
+from .core import (
+    PriSTI,
+    PriSTIConfig,
+    PriSTINetwork,
+    ImputationResult,
+    linear_interpolation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PriSTI",
+    "PriSTIConfig",
+    "PriSTINetwork",
+    "ImputationResult",
+    "linear_interpolation",
+    "__version__",
+]

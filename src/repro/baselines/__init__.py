@@ -1,0 +1,64 @@
+"""Baseline imputation methods (every comparator of Table III / IV).
+
+The registry :data:`BASELINE_REGISTRY` maps the names used in the paper's
+tables to factory callables, so the experiment harness can build the whole
+zoo uniformly.
+"""
+
+from .base import Imputer
+from .simple import (
+    MeanImputer,
+    DailyAverageImputer,
+    KNNImputer,
+    LinearInterpolationImputer,
+)
+from .statistical import KalmanFilterImputer, VARImputer, MICEImputer
+from .matrix_factorization import TRMFImputer, BATFImputer
+from .neural_base import WindowedNeuralImputer
+from .brits import BRITSNetwork, BRITSImputer
+from .grin import GRINNetwork, GRINImputer
+from .rgain import RGAINImputer
+from .vae import VRINImputer, GPVAEImputer
+from .csdi import CSDIImputer
+
+#: Name -> class for every baseline (PriSTI itself lives in ``repro.core``).
+BASELINE_REGISTRY = {
+    "Mean": MeanImputer,
+    "DA": DailyAverageImputer,
+    "KNN": KNNImputer,
+    "Lin-ITP": LinearInterpolationImputer,
+    "KF": KalmanFilterImputer,
+    "MICE": MICEImputer,
+    "VAR": VARImputer,
+    "TRMF": TRMFImputer,
+    "BATF": BATFImputer,
+    "V-RIN": VRINImputer,
+    "GP-VAE": GPVAEImputer,
+    "rGAIN": RGAINImputer,
+    "BRITS": BRITSImputer,
+    "GRIN": GRINImputer,
+    "CSDI": CSDIImputer,
+}
+
+__all__ = [
+    "Imputer",
+    "MeanImputer",
+    "DailyAverageImputer",
+    "KNNImputer",
+    "LinearInterpolationImputer",
+    "KalmanFilterImputer",
+    "VARImputer",
+    "MICEImputer",
+    "TRMFImputer",
+    "BATFImputer",
+    "WindowedNeuralImputer",
+    "BRITSNetwork",
+    "BRITSImputer",
+    "GRINNetwork",
+    "GRINImputer",
+    "RGAINImputer",
+    "VRINImputer",
+    "GPVAEImputer",
+    "CSDIImputer",
+    "BASELINE_REGISTRY",
+]

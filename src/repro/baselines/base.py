@@ -1,0 +1,79 @@
+"""Common interface for imputation baselines.
+
+Every baseline — statistic, machine-learning or deep — implements
+
+* ``fit(dataset, segment="train")`` — learn whatever the method needs from the
+  training split (may be a no-op for the statistic methods), and
+* ``impute(dataset, segment="test", num_samples=...)`` — return an
+  :class:`~repro.core.imputer.ImputationResult` for a split.
+
+Deterministic methods implement :meth:`_impute_matrix`, which fills a full
+``(time, node)`` matrix from the visible observations; the base class wraps it
+into a result whose "samples" are a single copy of the point estimate, so the
+evaluation harness can treat every method uniformly (CRPS is only reported for
+the genuinely probabilistic models, as in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.imputer import ImputationResult
+from ..data.datasets import SpatioTemporalDataset
+
+__all__ = ["Imputer"]
+
+
+class Imputer:
+    """Base class for all imputation methods."""
+
+    #: Name used in result tables.
+    name = "imputer"
+    #: Whether the method produces genuine posterior samples.
+    probabilistic = False
+
+    def __init__(self):
+        self.training_seconds = 0.0
+        self.inference_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, dataset, segment="train", verbose=False):
+        """Fit the method on a dataset split.  Default: nothing to learn."""
+        if not isinstance(dataset, SpatioTemporalDataset):
+            raise TypeError("fit expects a SpatioTemporalDataset")
+        return self
+
+    # ------------------------------------------------------------------
+    # Imputation
+    # ------------------------------------------------------------------
+    def _impute_matrix(self, values, input_mask, dataset):
+        """Fill a ``(time, node)`` matrix given the visible observations."""
+        raise NotImplementedError
+
+    def impute(self, dataset, segment="test", num_samples=1):
+        """Impute one split and return an :class:`ImputationResult`."""
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+        start = time.perf_counter()
+        filled = self._impute_matrix(values * input_mask, input_mask, dataset)
+        self.inference_seconds = time.perf_counter() - start
+        filled = np.where(input_mask, values, filled)
+        samples = np.repeat(filled[None], max(int(num_samples), 1), axis=0)
+        return ImputationResult(
+            median=filled,
+            samples=samples,
+            values=values,
+            observed_mask=observed_mask,
+            eval_mask=eval_mask,
+        )
+
+    def evaluate(self, dataset, segment="test", num_samples=1):
+        """Impute a split and compute the masked metrics."""
+        return self.impute(dataset, segment=segment, num_samples=num_samples).metrics()
+
+    def __repr__(self):
+        return f"{self.__class__.__name__}(name={self.name!r})"

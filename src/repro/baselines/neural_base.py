@@ -1,0 +1,182 @@
+"""Shared training loop for the windowed deep-learning baselines.
+
+BRITS, GRIN, rGAIN and the VAE baselines all follow the same protocol:
+
+* training windows are sampled from the training split,
+* a random subset of the *visible* observations is masked out and used as the
+  reconstruction target (so the model learns to impute rather than copy), and
+* the network reconstructs the full window from the masked input; the loss is
+  the masked absolute error on the artificial targets plus a small
+  reconstruction term on the remaining observations.
+
+Subclasses provide :meth:`build_network` and :meth:`reconstruct` (a forward
+pass returning the reconstructed window), plus optionally extra loss terms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.imputer import ImputationResult
+from ..data.scalers import StandardScaler
+from ..data.windows import WindowSampler
+from ..nn import Adam, clip_grad_norm
+from ..tensor import Tensor, masked_mae_loss
+from .base import Imputer
+
+__all__ = ["WindowedNeuralImputer"]
+
+
+class WindowedNeuralImputer(Imputer):
+    """Base class for deep baselines trained on fixed-length windows."""
+
+    name = "neural"
+
+    def __init__(self, window_length=16, hidden_size=32, epochs=10,
+                 iterations_per_epoch=8, batch_size=8, learning_rate=1e-2,
+                 grad_clip=5.0, seed=0):
+        super().__init__()
+        self.window_length = window_length
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.iterations_per_epoch = iterations_per_epoch
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.scaler = StandardScaler()
+        self.network = None
+        self.history = {"loss": []}
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def build_network(self, num_nodes, adjacency):
+        """Create the network (subclass hook)."""
+        raise NotImplementedError
+
+    def reconstruct(self, values, mask):
+        """Reconstruct a batch of windows.
+
+        ``values`` / ``mask`` are ``(batch, node, time)`` ndarrays (already
+        standardised, unobserved entries zeroed); the return value is a Tensor
+        of the same shape.
+        """
+        raise NotImplementedError
+
+    def extra_loss(self, reconstruction, values, observed_mask, target_mask):
+        """Optional additional loss terms (e.g. KL or adversarial)."""
+        return None
+
+    def training_mask(self, observed):
+        """Split the visible mask into (conditional, target) for one batch."""
+        rate = self.rng.uniform(0.1, 0.5)
+        drop = (self.rng.random(observed.shape) < rate) & observed
+        conditional = observed & ~drop
+        return conditional, drop
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, dataset, segment="train", verbose=False):
+        super().fit(dataset, segment)
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+        self.scaler.fit(values, input_mask)
+        if self.network is None:
+            self.network = self.build_network(dataset.num_nodes, dataset.adjacency)
+
+        sampler = WindowSampler(values, observed_mask, eval_mask, self.window_length, stride=1)
+        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
+
+        start = time.perf_counter()
+        self.network.train()
+        for epoch in range(self.epochs):
+            losses = []
+            for _ in range(self.iterations_per_epoch):
+                batch = sampler.random_batch(self.batch_size, rng=self.rng)
+                observed = batch.input_mask
+                scaled = self.scaler.transform(batch.values) * observed
+                conditional, target = self.training_mask(observed)
+                if target.sum() == 0:
+                    continue
+                optimizer.zero_grad()
+                reconstruction = self.reconstruct(scaled * conditional, conditional)
+                loss = masked_mae_loss(reconstruction, Tensor(scaled), target)
+                loss = loss + 0.1 * masked_mae_loss(reconstruction, Tensor(scaled), conditional)
+                extra = self.extra_loss(reconstruction, scaled, conditional, target)
+                if extra is not None:
+                    loss = loss + extra
+                loss.backward()
+                clip_grad_norm(self.network.parameters(), self.grad_clip)
+                optimizer.step()
+                losses.append(float(loss.data))
+            mean_loss = float(np.mean(losses)) if losses else 0.0
+            self.history["loss"].append(mean_loss)
+            if verbose:
+                print(f"[{self.name}] epoch {epoch + 1}/{self.epochs} loss={mean_loss:.4f}")
+        self.training_seconds += time.perf_counter() - start
+        return self
+
+    # ------------------------------------------------------------------
+    # Imputation
+    # ------------------------------------------------------------------
+    def _predict_windows(self, values, input_mask, num_samples):
+        """Reconstruct a full segment window-by-window, averaging overlaps."""
+        length, num_nodes = values.shape
+        window = self.window_length
+        starts = list(range(0, length - window + 1, window))
+        if starts and starts[-1] != length - window:
+            starts.append(length - window)
+        if not starts:
+            starts = [0]
+
+        sums = np.zeros((num_samples, length, num_nodes))
+        counts = np.zeros((length, num_nodes))
+        for start in starts:
+            stop = start + window
+            scaled = self.scaler.transform(values[start:stop]).T[None]
+            mask = input_mask[start:stop].T[None]
+            for sample_index in range(num_samples):
+                reconstruction = self.sample_window(scaled * mask, mask, sample_index)
+                sums[sample_index, start:stop] += reconstruction[0].T
+            counts[start:stop] += 1.0
+        counts = np.maximum(counts, 1.0)
+        return sums / counts[None]
+
+    def sample_window(self, values, mask, sample_index):
+        """One (possibly stochastic) reconstruction of a window batch."""
+        from ..tensor import no_grad
+
+        with no_grad():
+            reconstruction = self.reconstruct(values, mask.astype(bool))
+        return np.asarray(reconstruction.data, dtype=np.float64)
+
+    def impute(self, dataset, segment="test", num_samples=1):
+        if self.network is None:
+            raise RuntimeError("impute() called before fit()")
+        num_samples = max(int(num_samples), 1)
+        if not self.probabilistic:
+            num_samples = 1
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+
+        self.network.eval()
+        start = time.perf_counter()
+        samples_scaled = self._predict_windows(values, input_mask, num_samples)
+        self.inference_seconds = time.perf_counter() - start
+        self.network.train()
+
+        samples = self.scaler.inverse_transform(samples_scaled)
+        samples = np.where(input_mask[None], values[None], samples)
+        median = np.median(samples, axis=0)
+        return ImputationResult(
+            median=median,
+            samples=samples,
+            values=values,
+            observed_mask=observed_mask,
+            eval_mask=eval_mask,
+        )

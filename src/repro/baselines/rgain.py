@@ -1,0 +1,81 @@
+"""rGAIN: GAIN with a bidirectional recurrent generator (GAN-based baseline).
+
+GAIN (Yoon et al., 2018) imputes with a generator conditioned on the observed
+values and trains a discriminator to tell observed from imputed entries; the
+rGAIN variant used in the GRIN benchmark swaps the generator for a
+bidirectional recurrent encoder-decoder.  Here the generator is the BRITS-style
+bidirectional GRU and the discriminator an MLP applied per time step (with a
+hint vector, as in GAIN).  Training alternates the usual reconstruction loss
+with the adversarial terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Adam, Linear, MLP, Module, Sequential
+from ..tensor import Tensor, binary_cross_entropy, cat
+from .brits import BRITSNetwork
+from .neural_base import WindowedNeuralImputer
+
+__all__ = ["RGAINImputer"]
+
+
+class _Discriminator(Module):
+    """Per-step MLP that predicts which entries are truly observed."""
+
+    def __init__(self, num_nodes, hidden_size, rng=None):
+        super().__init__()
+        self.body = MLP(2 * num_nodes, hidden_size, num_nodes, activation="relu", rng=rng)
+
+    def forward(self, imputed, hint):
+        """``imputed``/``hint``: (batch, node, time) -> probabilities (batch, node, time)."""
+        stacked = cat([imputed.swapaxes(1, 2), hint.swapaxes(1, 2)], axis=-1)
+        logits = self.body(stacked)
+        return logits.sigmoid().swapaxes(1, 2)
+
+
+class RGAINImputer(WindowedNeuralImputer):
+    """GAN-based recurrent imputer (rGAIN)."""
+
+    name = "rGAIN"
+    probabilistic = False
+
+    def __init__(self, hint_rate=0.9, adversarial_weight=0.1, **kwargs):
+        super().__init__(**kwargs)
+        self.hint_rate = hint_rate
+        self.adversarial_weight = adversarial_weight
+        self.discriminator = None
+        self._discriminator_optimizer = None
+
+    def build_network(self, num_nodes, adjacency):
+        rng = np.random.default_rng(self.seed)
+        self.discriminator = _Discriminator(num_nodes, self.hidden_size, rng=rng)
+        self._discriminator_optimizer = Adam(self.discriminator.parameters(), lr=self.learning_rate)
+        return BRITSNetwork(num_nodes, self.hidden_size, rng=rng)
+
+    def reconstruct(self, values, mask):
+        return self.network(values, mask)
+
+    def extra_loss(self, reconstruction, values, observed_mask, target_mask):
+        """Adversarial generator loss + one discriminator update."""
+        observed = observed_mask.astype(np.float64)
+        imputed = reconstruction * Tensor(1.0 - observed) + Tensor(values * observed)
+        hint_mask = (self.rng.random(observed.shape) < self.hint_rate).astype(np.float64)
+        hint = Tensor(observed * hint_mask)
+
+        # Discriminator step on a detached copy of the imputation.
+        detached = Tensor(imputed.data.copy())
+        self._discriminator_optimizer.zero_grad()
+        disc_prediction = self.discriminator(detached, hint)
+        disc_loss = binary_cross_entropy(disc_prediction, Tensor(observed))
+        disc_loss.backward()
+        self._discriminator_optimizer.step()
+
+        # Generator adversarial term: fool the discriminator on imputed entries.
+        generator_prediction = self.discriminator(imputed, hint)
+        fake_positions = Tensor(1.0 - observed)
+        eps = 1e-7
+        adversarial = -(generator_prediction.clip(eps, 1 - eps).log() * fake_positions).sum()
+        adversarial = adversarial * (1.0 / max(float((1.0 - observed).sum()), 1.0))
+        return adversarial * self.adversarial_weight

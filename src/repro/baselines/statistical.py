@@ -1,0 +1,157 @@
+"""Classic machine-learning baselines: Kalman filter, VAR and MICE.
+
+* **KF**   — per-node local-level Kalman filter/smoother; missing steps are
+  handled by skipping the measurement update, imputations are the smoothed
+  state means.
+* **VAR**  — vector autoregressive single-step predictor fit by ridge least
+  squares on fully/mostly observed transitions.
+* **MICE** — multiple imputation by chained equations with ridge regressions,
+  each node regressed on all others for a few refinement rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Imputer
+
+__all__ = ["KalmanFilterImputer", "VARImputer", "MICEImputer"]
+
+
+class KalmanFilterImputer(Imputer):
+    """Local-level (random-walk plus noise) Kalman smoother per node."""
+
+    name = "KF"
+
+    def __init__(self, process_variance=1.0, observation_variance=4.0):
+        super().__init__()
+        self.process_variance = process_variance
+        self.observation_variance = observation_variance
+
+    def _smooth_series(self, series, mask):
+        length = len(series)
+        observed_values = series[mask]
+        level = observed_values[0] if observed_values.size else 0.0
+        variance = self.observation_variance
+
+        filtered_means = np.zeros(length)
+        filtered_vars = np.zeros(length)
+        predicted_means = np.zeros(length)
+        predicted_vars = np.zeros(length)
+
+        for step in range(length):
+            # Predict.
+            prior_mean = level
+            prior_var = variance + self.process_variance
+            predicted_means[step] = prior_mean
+            predicted_vars[step] = prior_var
+            # Update (skip when the measurement is missing).
+            if mask[step]:
+                gain = prior_var / (prior_var + self.observation_variance)
+                level = prior_mean + gain * (series[step] - prior_mean)
+                variance = (1.0 - gain) * prior_var
+            else:
+                level = prior_mean
+                variance = prior_var
+            filtered_means[step] = level
+            filtered_vars[step] = variance
+
+        # Rauch–Tung–Striebel smoother.
+        smoothed = np.array(filtered_means)
+        for step in range(length - 2, -1, -1):
+            gain = filtered_vars[step] / max(predicted_vars[step + 1], 1e-12)
+            smoothed[step] = filtered_means[step] + gain * (smoothed[step + 1] - predicted_means[step + 1])
+        return smoothed
+
+    def _impute_matrix(self, values, input_mask, dataset):
+        filled = np.empty_like(values, dtype=np.float64)
+        for node in range(values.shape[1]):
+            mask = input_mask[:, node]
+            if mask.sum() == 0:
+                filled[:, node] = 0.0
+                continue
+            filled[:, node] = self._smooth_series(values[:, node], mask)
+        return filled
+
+
+class VARImputer(Imputer):
+    """Vector autoregressive single-step predictor (order 1, ridge-fit)."""
+
+    name = "VAR"
+
+    def __init__(self, ridge=1.0):
+        super().__init__()
+        self.ridge = ridge
+        self._coefficients = None
+        self._intercept = None
+        self._node_means = None
+
+    def fit(self, dataset, segment="train", verbose=False):
+        super().fit(dataset, segment)
+        values, observed, evaluation = dataset.segment(segment)
+        mask = observed & ~evaluation
+        self._node_means = np.where(
+            mask.sum(axis=0) > 0,
+            (values * mask).sum(axis=0) / np.maximum(mask.sum(axis=0), 1),
+            0.0,
+        )
+        # Work on a mean-filled copy so every transition is usable.
+        filled = np.where(mask, values, self._node_means)
+        previous, current = filled[:-1], filled[1:]
+        num_nodes = values.shape[1]
+        design = np.hstack([previous, np.ones((len(previous), 1))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ current)
+        self._coefficients = solution[:-1]
+        self._intercept = solution[-1]
+        return self
+
+    def _impute_matrix(self, values, input_mask, dataset):
+        if self._coefficients is None:
+            self.fit(dataset, segment="train")
+        node_means = self._node_means
+        filled = np.where(input_mask, values, np.broadcast_to(node_means, values.shape))
+        # One forward pass: replace missing entries with the VAR prediction
+        # from the previous (already filled) step.
+        for step in range(1, values.shape[0]):
+            prediction = filled[step - 1] @ self._coefficients + self._intercept
+            missing = ~input_mask[step]
+            filled[step, missing] = prediction[missing]
+        return filled
+
+
+class MICEImputer(Imputer):
+    """Multiple imputation by chained equations with ridge regressions."""
+
+    name = "MICE"
+
+    def __init__(self, rounds=3, ridge=1.0):
+        super().__init__()
+        self.rounds = rounds
+        self.ridge = ridge
+
+    def _impute_matrix(self, values, input_mask, dataset):
+        num_steps, num_nodes = values.shape
+        column_means = np.where(
+            input_mask.sum(axis=0) > 0,
+            (values * input_mask).sum(axis=0) / np.maximum(input_mask.sum(axis=0), 1),
+            0.0,
+        )
+        filled = np.where(input_mask, values, np.broadcast_to(column_means, values.shape)).astype(np.float64)
+
+        for _ in range(self.rounds):
+            for node in range(num_nodes):
+                missing = ~input_mask[:, node]
+                observed = input_mask[:, node]
+                if missing.sum() == 0 or observed.sum() < 3:
+                    continue
+                others = np.delete(np.arange(num_nodes), node)
+                design_observed = filled[np.ix_(observed, others)]
+                design_missing = filled[np.ix_(missing, others)]
+                target = filled[observed, node]
+                design_observed = np.hstack([design_observed, np.ones((len(design_observed), 1))])
+                design_missing = np.hstack([design_missing, np.ones((len(design_missing), 1))])
+                gram = design_observed.T @ design_observed + self.ridge * np.eye(design_observed.shape[1])
+                weights = np.linalg.solve(gram, design_observed.T @ target)
+                filled[missing, node] = design_missing @ weights
+        return filled

@@ -1,0 +1,30 @@
+"""PriSTI — the paper's primary contribution.
+
+Public entry points:
+
+* :class:`PriSTIConfig` — hyperparameters (Table II) including ablation switches.
+* :class:`PriSTI` — the imputer (``fit`` / ``impute`` / ``evaluate``).
+* :class:`PriSTINetwork` — the noise prediction model ϵθ.
+* :func:`linear_interpolation` — the enhanced conditional information.
+"""
+
+from .config import PriSTIConfig
+from .interpolation import interpolate_series, linear_interpolation
+from .auxiliary import AuxiliaryInfo
+from .conditional_feature import ConditionalFeatureExtraction
+from .noise_estimation import NoiseEstimationLayer
+from .model import PriSTINetwork
+from .imputer import ImputationResult, ConditionalDiffusionImputer, PriSTI
+
+__all__ = [
+    "PriSTIConfig",
+    "interpolate_series",
+    "linear_interpolation",
+    "AuxiliaryInfo",
+    "ConditionalFeatureExtraction",
+    "NoiseEstimationLayer",
+    "PriSTINetwork",
+    "ImputationResult",
+    "ConditionalDiffusionImputer",
+    "PriSTI",
+]

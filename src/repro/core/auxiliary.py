@@ -1,0 +1,50 @@
+"""Auxiliary information ``U = MLP(U_tem, U_spa)`` (§III-B3).
+
+``U_tem`` is the fixed sine–cosine temporal encoding of the window positions
+and ``U_spa`` a learnable node embedding; they are expanded, concatenated and
+projected by an MLP into the model's channel size, then added to the hidden
+representations of both the conditional feature extraction module and the
+noise estimation module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, MLP, Module, NodeEmbedding, temporal_encoding
+from ..tensor import Tensor, cat
+
+__all__ = ["AuxiliaryInfo"]
+
+
+class AuxiliaryInfo(Module):
+    """Produce the ``(batch, node, time, channels)`` auxiliary feature map."""
+
+    def __init__(self, num_nodes, window_length, channels,
+                 temporal_dim=128, node_dim=16, rng=None):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.window_length = window_length
+        self.channels = channels
+        self._temporal = temporal_encoding(window_length, temporal_dim)
+        self.node_embedding = NodeEmbedding(num_nodes, node_dim, rng=rng)
+        self.projection = MLP(temporal_dim + node_dim, channels, channels,
+                              activation="silu", rng=rng)
+
+    def forward(self, batch_size):
+        """Return the auxiliary tensor broadcast over a batch."""
+        temporal = Tensor(np.broadcast_to(
+            self._temporal[None, :, :],
+            (self.num_nodes, self.window_length, self._temporal.shape[1]),
+        ).copy())
+        node = self.node_embedding()                      # (N, node_dim)
+        node = node.expand_dims(1)                        # (N, 1, node_dim)
+        node = node.broadcast_to(
+            (self.num_nodes, self.window_length, node.shape[-1])
+        )
+        combined = cat([temporal, node], axis=-1)         # (N, L, temporal+node)
+        projected = self.projection(combined)             # (N, L, channels)
+        expanded = projected.expand_dims(0)
+        return expanded.broadcast_to(
+            (batch_size, self.num_nodes, self.window_length, self.channels)
+        )

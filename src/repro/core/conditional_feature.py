@@ -1,0 +1,65 @@
+"""Conditional feature extraction module γ(·) (Eq. 5, Fig. 3 left).
+
+The module receives the (channel-lifted) interpolated conditional information
+``H`` and the geographic adjacency ``A`` and produces the global context prior
+
+``H^pri = MLP( φ_SA(H) + φ_TA(H) + φ_MP(H, A) )``
+
+where each branch is a residual + layer-norm block built on spatial global
+attention, temporal global attention and Graph-WaveNet message passing.  The
+module is a *wide* single layer: the three branches see the same noiseless
+input and are aggregated at once.
+"""
+
+from __future__ import annotations
+
+from ..nn import (
+    LayerNorm,
+    MLP,
+    Module,
+    MPNN,
+    MultiHeadAttention,
+)
+
+__all__ = ["ConditionalFeatureExtraction"]
+
+
+class ConditionalFeatureExtraction(Module):
+    """Extract the spatiotemporal prior ``H^pri`` from interpolated conditions.
+
+    Input/output layout is ``(batch, node, time, channels)``.
+    """
+
+    def __init__(self, channels, heads, adjacency, mpnn_order=2, rng=None):
+        super().__init__()
+        self.channels = channels
+        self.temporal_attention = MultiHeadAttention(channels, heads, rng=rng)
+        self.spatial_attention = MultiHeadAttention(channels, heads, rng=rng)
+        self.temporal_norm = LayerNorm(channels)
+        self.spatial_norm = LayerNorm(channels)
+        self.message_passing = MPNN(channels, adjacency, order=mpnn_order, rng=rng)
+        self.output_mlp = MLP(channels, channels, channels, activation="gelu", rng=rng)
+
+    def _temporal_branch(self, hidden):
+        """φ_TA: temporal self-attention with residual + norm."""
+        attended = self.temporal_attention(hidden)
+        return self.temporal_norm(attended + hidden)
+
+    def _spatial_branch(self, hidden):
+        """φ_SA: spatial self-attention (over nodes) with residual + norm."""
+        swapped = hidden.swapaxes(1, 2)                   # (B, L, N, d)
+        attended = self.spatial_attention(swapped)
+        attended = attended.swapaxes(1, 2)                # back to (B, N, L, d)
+        return self.spatial_norm(attended + hidden)
+
+    def _message_branch(self, hidden):
+        """φ_MP: graph message passing with residual + norm (inside MPNN)."""
+        return self.message_passing(hidden)
+
+    def forward(self, hidden):
+        combined = (
+            self._spatial_branch(hidden)
+            + self._temporal_branch(hidden)
+            + self._message_branch(hidden)
+        )
+        return self.output_mlp(combined)

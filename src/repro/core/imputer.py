@@ -1,0 +1,315 @@
+"""High-level imputation API for conditional diffusion models.
+
+:class:`ConditionalDiffusionImputer` owns the training loop (Algorithm 1) and
+the sampling loop (Algorithm 2) shared by PriSTI and the CSDI baseline; the
+subclasses only decide which network to build and how the conditional
+information is constructed (linear interpolation for PriSTI, raw observed
+values for CSDI / mix-STI).
+
+:class:`PriSTI` is the user-facing class: ``fit`` on a
+:class:`~repro.data.datasets.SpatioTemporalDataset`, then ``impute`` /
+``evaluate`` on any split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import SpatioTemporalDataset
+from ..data.masks import MaskStrategy
+from ..data.scalers import StandardScaler
+from ..data.windows import WindowSampler
+from ..diffusion import GaussianDiffusion, make_schedule
+from ..metrics import crps_from_samples, masked_mae, masked_mse, masked_rmse
+from ..nn import Adam, MilestoneLR, clip_grad_norm
+from ..tensor import Tensor, masked_mse_loss, no_grad
+from .config import PriSTIConfig
+from .interpolation import linear_interpolation
+from .model import PriSTINetwork
+
+__all__ = ["ImputationResult", "ConditionalDiffusionImputer", "PriSTI"]
+
+
+@dataclass
+class ImputationResult:
+    """Output of :meth:`ConditionalDiffusionImputer.impute`.
+
+    Attributes
+    ----------
+    median:
+        ``(time, node)`` deterministic imputation (median of the samples) with
+        observed values passed through unchanged.
+    samples:
+        ``(num_samples, time, node)`` posterior samples.
+    values, observed_mask, eval_mask:
+        The evaluated segment's ground truth and masks, kept so metrics can be
+        computed without re-slicing the dataset.
+    """
+
+    median: np.ndarray
+    samples: np.ndarray
+    values: np.ndarray
+    observed_mask: np.ndarray
+    eval_mask: np.ndarray
+
+    def metrics(self):
+        """MAE / MSE / RMSE / CRPS on the evaluation mask."""
+        return {
+            "mae": masked_mae(self.median, self.values, self.eval_mask),
+            "mse": masked_mse(self.median, self.values, self.eval_mask),
+            "rmse": masked_rmse(self.median, self.values, self.eval_mask),
+            "crps": crps_from_samples(self.samples, self.values, self.eval_mask),
+        }
+
+
+class ConditionalDiffusionImputer:
+    """Shared training / sampling machinery for diffusion-based imputers."""
+
+    #: Human-readable name used in result tables.
+    name = "diffusion"
+
+    def __init__(self, config=None, rng=None):
+        self.config = config or PriSTIConfig()
+        self.rng = rng or np.random.default_rng(self.config.seed)
+        self.scaler = StandardScaler()
+        self.network = None
+        self.diffusion = None
+        self.num_nodes = None
+        self.adjacency = None
+        self.history = {"loss": []}
+        self.training_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def build_network(self, num_nodes, adjacency):
+        """Create the noise-prediction network (subclass hook)."""
+        raise NotImplementedError
+
+    def build_condition(self, values, mask):
+        """Construct the conditional information from masked observations.
+
+        ``values`` and ``mask`` are ``(batch, node, time)`` arrays where
+        ``mask`` marks the entries the model may look at.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _ensure_built(self, dataset):
+        if self.network is not None:
+            return
+        self.num_nodes = dataset.num_nodes
+        self.adjacency = np.asarray(dataset.adjacency, dtype=np.float64)
+        self.network = self.build_network(self.num_nodes, self.adjacency)
+        schedule = make_schedule(
+            self.config.schedule,
+            self.config.num_diffusion_steps,
+            beta_min=self.config.beta_min,
+            beta_max=self.config.beta_max,
+        )
+        self.diffusion = GaussianDiffusion(schedule, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def fit(self, dataset, segment="train", verbose=False):
+        """Train the noise prediction model on a dataset split."""
+        if not isinstance(dataset, SpatioTemporalDataset):
+            raise TypeError("fit expects a SpatioTemporalDataset")
+        self._ensure_built(dataset)
+
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+        self.scaler.fit(values, input_mask)
+
+        sampler = WindowSampler(
+            values, observed_mask, eval_mask, self.config.window_length, stride=1
+        )
+        strategy = MaskStrategy(self.config.mask_strategy, rng=self.rng)
+        optimizer = Adam(self.network.parameters(), lr=self.config.learning_rate)
+        scheduler = MilestoneLR(
+            optimizer,
+            total_epochs=self.config.epochs,
+            milestones=self.config.lr_milestones,
+            gamma=self.config.lr_gamma,
+        )
+        iterations = self.config.iterations_per_epoch or max(len(sampler) // self.config.batch_size, 1)
+
+        start_time = time.perf_counter()
+        self.network.train()
+        for epoch in range(self.config.epochs):
+            epoch_losses = []
+            for _ in range(iterations):
+                batch = sampler.random_batch(self.config.batch_size, rng=self.rng)
+                loss = self._training_step(batch, strategy, optimizer)
+                epoch_losses.append(loss)
+            scheduler.step()
+            mean_loss = float(np.mean(epoch_losses))
+            self.history["loss"].append(mean_loss)
+            if verbose:
+                print(f"[{self.name}] epoch {epoch + 1}/{self.config.epochs} "
+                      f"loss={mean_loss:.4f} lr={scheduler.current_lr:.2e}")
+        self.training_seconds += time.perf_counter() - start_time
+        return self.history
+
+    def _training_step(self, batch, strategy, optimizer):
+        """One gradient step on a batch of windows."""
+        observed = batch.input_mask                         # (B, N, L) model-visible data
+        values = self.scaler.transform(batch.values) * observed
+
+        conditional_masks = []
+        for index in range(len(batch)):
+            historical = None
+            if strategy.name == "hybrid-historical":
+                other = int(self.rng.integers(len(batch)))
+                historical = batch.input_mask[other]
+            conditional_masks.append(strategy(observed[index], historical_mask=historical))
+        conditional_mask = np.stack(conditional_masks)
+        target_mask = observed & ~conditional_mask
+
+        if target_mask.sum() == 0:
+            return 0.0
+
+        condition = self.build_condition(values * conditional_mask, conditional_mask)
+
+        x0 = values * target_mask
+        steps = self.diffusion.sample_steps(len(batch))
+        noisy, noise = self.diffusion.q_sample(x0, steps)
+        noisy = noisy * target_mask
+        if self.config.condition_dropout > 0:
+            # Hide the noisy channel for some samples so the network also
+            # learns to impute purely from the conditional information.
+            keep = (self.rng.random(len(batch)) >= self.config.condition_dropout)
+            noisy = noisy * keep[:, None, None]
+
+        optimizer.zero_grad()
+        predicted = self.network(noisy, condition, steps, conditional_mask=conditional_mask)
+        if self.config.parameterization == "epsilon":
+            # Eq. (4): regress the added Gaussian noise.
+            loss = masked_mse_loss(predicted, Tensor(noise), target_mask)
+        else:
+            # x0-residual parameterisation: the network predicts the clean
+            # target as a correction on top of the conditional information.
+            reconstruction = predicted + Tensor(condition)
+            loss = masked_mse_loss(reconstruction, Tensor(values), target_mask)
+        loss.backward()
+        clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+        optimizer.step()
+        return float(loss.data)
+
+    # ------------------------------------------------------------------
+    # Imputation (Algorithm 2)
+    # ------------------------------------------------------------------
+    def impute(self, dataset, segment="test", num_samples=None, stride=None):
+        """Impute all missing values of a dataset split.
+
+        Returns an :class:`ImputationResult`; every missing entry (both the
+        artificially removed evaluation targets and the originally missing
+        data) is imputed, observed entries are passed through.
+        """
+        if self.network is None:
+            raise RuntimeError("impute() called before fit()")
+        num_samples = num_samples or self.config.num_samples
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+        length = values.shape[0]
+        window = self.config.window_length
+        if length < window:
+            raise ValueError(f"segment of length {length} is shorter than the window {window}")
+        stride = stride or window
+
+        starts = list(range(0, length - window + 1, stride))
+        if starts[-1] != length - window:
+            starts.append(length - window)
+
+        sums = np.zeros((num_samples, length, self.num_nodes))
+        counts = np.zeros((length, self.num_nodes))
+
+        self.network.eval()
+        inference_start = time.perf_counter()
+        for start in starts:
+            stop = start + window
+            window_values = self.scaler.transform(values[start:stop]).T[None]   # (1, N, L)
+            window_mask = input_mask[start:stop].T[None]
+            window_samples = self._sample_window(window_values, window_mask, num_samples)
+            sums[:, start:stop, :] += window_samples.transpose(0, 2, 1)
+            counts[start:stop, :] += 1.0
+        self.inference_seconds = time.perf_counter() - inference_start
+
+        counts = np.maximum(counts, 1.0)
+        samples_scaled = sums / counts[None]
+        samples = self.scaler.inverse_transform(samples_scaled)
+        # Observed entries are not imputed: pass the ground truth through.
+        samples = np.where(input_mask[None], values[None], samples)
+        median = np.median(samples, axis=0)
+
+        self.network.train()
+        return ImputationResult(
+            median=median,
+            samples=samples,
+            values=values,
+            observed_mask=observed_mask,
+            eval_mask=eval_mask,
+        )
+
+    def _sample_window(self, values, mask, num_samples):
+        """Reverse-diffusion sampling for one window.
+
+        ``values`` / ``mask`` are ``(1, N, L)``; returns ``(S, N, L)``.
+        """
+        conditional_mask = mask.astype(np.float64)
+        condition = self.build_condition(values * conditional_mask, conditional_mask)
+        target_mask = 1.0 - conditional_mask
+        schedule = self.diffusion.schedule
+
+        def noise_fn(x_t, step):
+            with no_grad():
+                prediction = self.network(
+                    x_t * target_mask, condition, np.array([step]),
+                    conditional_mask=conditional_mask,
+                ).data
+            if self.config.parameterization == "epsilon":
+                return prediction
+            # Convert the predicted clean target back to the implied noise.
+            x0_estimate = condition + prediction
+            sqrt_ab = schedule.sqrt_alpha_bar(step)
+            sqrt_1mab = max(schedule.sqrt_one_minus_alpha_bar(step), 1e-6)
+            return (x_t - sqrt_ab * x0_estimate) / sqrt_1mab
+
+        if self.config.ddim_steps:
+            samples = self.diffusion.sample_ddim(
+                values.shape, noise_fn, num_samples=num_samples,
+                num_inference_steps=self.config.ddim_steps,
+            )
+        else:
+            samples = self.diffusion.sample(values.shape, noise_fn, num_samples=num_samples)
+        return samples[:, 0]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset, segment="test", num_samples=None):
+        """Impute a split and return MAE / MSE / RMSE / CRPS on its eval mask."""
+        result = self.impute(dataset, segment=segment, num_samples=num_samples)
+        return result.metrics()
+
+
+class PriSTI(ConditionalDiffusionImputer):
+    """PriSTI: conditional diffusion with interpolated prior conditioning."""
+
+    name = "PriSTI"
+
+    def build_network(self, num_nodes, adjacency):
+        return PriSTINetwork(self.config, num_nodes, adjacency,
+                             rng=np.random.default_rng(self.config.seed))
+
+    def build_condition(self, values, mask):
+        """Interpolated conditional information (or raw values for mix-STI)."""
+        if self.config.use_interpolation:
+            return linear_interpolation(values, mask)
+        return np.asarray(values, dtype=np.float64)

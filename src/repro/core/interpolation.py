@@ -1,0 +1,64 @@
+"""Linear interpolation of the observed values (the enhanced prior, §III-B1).
+
+PriSTI builds its conditional information by linearly interpolating each
+node's time series over the missing positions.  The interpolation introduces
+no randomness and is cheap enough to run inside the training loop under the
+random mask strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interpolate_series", "linear_interpolation"]
+
+
+def interpolate_series(values, mask):
+    """Linearly interpolate a single series over missing positions.
+
+    Parameters
+    ----------
+    values:
+        ``(length,)`` array of raw values.
+    mask:
+        ``(length,)`` boolean array, True where the value is observed.
+
+    Missing values before the first / after the last observation are filled
+    with the nearest observed value; a fully missing series is filled with
+    zeros (the neutral value on standardised data).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask).astype(bool)
+    if values.shape != mask.shape or values.ndim != 1:
+        raise ValueError("values and mask must be 1-D arrays of the same length")
+    length = len(values)
+    observed_idx = np.nonzero(mask)[0]
+    if observed_idx.size == 0:
+        return np.zeros(length, dtype=np.float64)
+    if observed_idx.size == length:
+        return values.copy()
+    positions = np.arange(length)
+    return np.interp(positions, observed_idx, values[observed_idx])
+
+
+def linear_interpolation(values, mask):
+    """Interpolate every node's series in a window or batch of windows.
+
+    Accepts ``(node, time)`` or ``(batch, node, time)`` arrays and returns an
+    array of the same shape; only entries where ``mask`` is 1 are trusted.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask).astype(bool)
+    if values.shape != mask.shape:
+        raise ValueError("values and mask must have the same shape")
+    if values.ndim == 2:
+        output = np.empty_like(values)
+        for node in range(values.shape[0]):
+            output[node] = interpolate_series(values[node], mask[node])
+        return output
+    if values.ndim == 3:
+        output = np.empty_like(values)
+        for batch in range(values.shape[0]):
+            output[batch] = linear_interpolation(values[batch], mask[batch])
+        return output
+    raise ValueError("expected a 2-D (node, time) or 3-D (batch, node, time) array")

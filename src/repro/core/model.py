@@ -1,0 +1,161 @@
+"""The PriSTI noise prediction network ϵθ (Fig. 2).
+
+The network takes
+
+* the noisy imputation target ``x_t`` (only meaningful on target positions),
+* the interpolated conditional information ``X`` (or the raw observed values
+  for the mix-STI ablation),
+* the geographic adjacency, and
+* the diffusion step ``t``
+
+and predicts the Gaussian noise that was added to the target.  Internally it
+
+1. lifts the conditional information to ``d`` channels and runs the
+   conditional feature extraction module to obtain the prior ``H^pri``,
+2. lifts the concatenation ``X || x_t`` to ``d`` channels (``H^in``),
+3. runs a stack of noise estimation layers whose attention weights are
+   conditioned on ``H^pri``, accumulating skip connections, and
+4. maps the summed skips through two 1×1 convolutions to a single channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv1x1, DiffusionStepEmbedding, Module, ModuleList
+from ..tensor import Tensor, cat
+from .auxiliary import AuxiliaryInfo
+from .conditional_feature import ConditionalFeatureExtraction
+from .config import PriSTIConfig
+from .noise_estimation import NoiseEstimationLayer
+
+__all__ = ["PriSTINetwork"]
+
+
+class PriSTINetwork(Module):
+    """Noise prediction model ϵθ(x_t, X, A, t)."""
+
+    def __init__(self, config, num_nodes, adjacency, rng=None):
+        super().__init__()
+        if not isinstance(config, PriSTIConfig):
+            raise TypeError("config must be a PriSTIConfig")
+        self.config = config
+        self.num_nodes = num_nodes
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError("adjacency shape does not match num_nodes")
+
+        channels = config.channels
+        # Inputs: conditional information, noisy target and the conditional
+        # mask (the "Mask" block of Fig. 2) stacked on the channel axis.
+        self.input_projection = Conv1x1(3, channels, rng=rng)
+        self.condition_projection = Conv1x1(1, channels, rng=rng)
+
+        self.diffusion_embedding = DiffusionStepEmbedding(
+            config.num_diffusion_steps,
+            embedding_dim=config.diffusion_embedding_dim,
+            projection_dim=channels,
+            rng=rng,
+        )
+        self.auxiliary = AuxiliaryInfo(
+            num_nodes,
+            config.window_length,
+            channels,
+            temporal_dim=config.temporal_encoding_dim,
+            node_dim=config.node_embedding_dim,
+            rng=rng,
+        )
+
+        if config.use_conditional_feature:
+            self.conditional_feature = ConditionalFeatureExtraction(
+                channels, config.heads, adjacency, mpnn_order=config.mpnn_order, rng=rng
+            )
+        else:
+            self.conditional_feature = None
+
+        self.layers = ModuleList(
+            NoiseEstimationLayer(
+                channels,
+                config.heads,
+                adjacency,
+                num_nodes=num_nodes,
+                virtual_nodes=config.virtual_nodes,
+                diffusion_dim=channels,
+                mpnn_order=config.mpnn_order,
+                use_temporal=config.use_temporal,
+                use_spatial=config.use_spatial,
+                use_spatial_attention=config.use_spatial_attention,
+                use_mpnn=config.use_mpnn,
+                use_conditional_feature=config.use_conditional_feature,
+                rng=rng,
+            )
+            for _ in range(config.layers)
+        )
+
+        self.output_projection1 = Conv1x1(channels, channels, rng=rng)
+        self.output_projection2 = Conv1x1(channels, 1, rng=rng)
+        # Zero-init the final projection (as in DiffWave / CSDI) so the model
+        # starts from the neutral prediction and training only adds signal.
+        self.output_projection2.weight.data[...] = 0.0
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, noisy_target, condition, steps, conditional_mask=None):
+        """Predict the network output (noise or clean-target residual).
+
+        Parameters
+        ----------
+        noisy_target:
+            ``(batch, node, time)`` tensor or ndarray — the perturbed target
+            ``x_t`` (zero outside the imputation target).
+        condition:
+            ``(batch, node, time)`` interpolated conditional information
+            (or raw observed values for the mix-STI ablation).
+        steps:
+            ``(batch,)`` integer diffusion steps.
+        conditional_mask:
+            ``(batch, node, time)`` binary mask, 1 where the conditional
+            information is genuinely observed (the "Mask" input of Fig. 2).
+            Defaults to all ones.
+
+        Returns
+        -------
+        Tensor of shape ``(batch, node, time)``.
+        """
+        noisy_target = noisy_target if isinstance(noisy_target, Tensor) else Tensor(noisy_target)
+        condition = condition if isinstance(condition, Tensor) else Tensor(condition)
+        batch_size = noisy_target.shape[0]
+        if conditional_mask is None:
+            conditional_mask = np.ones(noisy_target.shape)
+        mask_tensor = conditional_mask if isinstance(conditional_mask, Tensor) \
+            else Tensor(np.asarray(conditional_mask, dtype=np.float64))
+
+        noisy_channel = noisy_target.expand_dims(-1)              # (B, N, L, 1)
+        condition_channel = condition.expand_dims(-1)             # (B, N, L, 1)
+        mask_channel = mask_tensor.expand_dims(-1)                # (B, N, L, 1)
+
+        auxiliary = self.auxiliary(batch_size)
+
+        hidden_in = self.input_projection(
+            cat([condition_channel, noisy_channel, mask_channel], axis=-1)
+        ).relu()
+
+        if self.conditional_feature is not None:
+            prior_hidden = self.condition_projection(condition_channel).relu()
+            prior = self.conditional_feature(prior_hidden + auxiliary)
+        else:
+            prior = None
+
+        step_embedding = self.diffusion_embedding(steps)
+
+        skips = None
+        hidden = hidden_in
+        for layer in self.layers:
+            hidden, skip = layer(hidden, prior, step_embedding, auxiliary=auxiliary)
+            skips = skip if skips is None else skips + skip
+        skips = skips * (1.0 / np.sqrt(len(self.layers)))
+
+        output = self.output_projection1(skips).relu()
+        output = self.output_projection2(output)
+        return output.squeeze(-1)

@@ -1,0 +1,161 @@
+"""Noise estimation module (Eq. 6–9, Fig. 3 right).
+
+Each layer consumes the noisy representation ``H^in`` together with the prior
+``H^pri`` and the adjacency.  Temporal dependencies are learned first
+(``H^tem = Attn_tem(H^in)``), then aggregated spatially
+(``H^spa = MLP(φ_SA(H^tem) + φ_MP(H^tem, A))``).  Crucially, the attention
+*weights* of both attention blocks are computed from the conditional feature
+``H^pri`` (Eq. 7–8) so that the similarity structure is not corrupted by the
+sampled Gaussian noise; values still come from the noisy stream.  Spatial
+attention keys/values can be pooled onto ``k`` virtual nodes (Eq. 9).
+
+Layers follow the DiffWave/CSDI residual design: the diffusion-step embedding
+is added to the input, the spatiotemporal block produces a gated activation,
+and the result is split into a residual connection (input of the next layer)
+and a skip connection (summed across layers for the output head).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Conv1x1,
+    GatedActivation,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    MPNN,
+    MultiHeadAttention,
+    VirtualNodeAttention,
+)
+from ..tensor import Tensor
+
+__all__ = ["NoiseEstimationLayer"]
+
+_SQRT_HALF = 1.0 / np.sqrt(2.0)
+
+
+class NoiseEstimationLayer(Module):
+    """One residual layer of the noise estimation module.
+
+    Parameters
+    ----------
+    channels, heads:
+        Hidden width and number of attention heads.
+    adjacency:
+        Geographic adjacency used by the MPNN branch.
+    num_nodes, virtual_nodes:
+        Node count and the number of virtual nodes for the spatial attention
+        (``virtual_nodes >= num_nodes`` falls back to full attention).
+    diffusion_dim:
+        Width of the projected diffusion-step embedding.
+    use_*:
+        Ablation switches corresponding to the Table VI variants.
+    """
+
+    def __init__(self, channels, heads, adjacency, num_nodes, virtual_nodes,
+                 diffusion_dim, mpnn_order=2, use_temporal=True, use_spatial=True,
+                 use_spatial_attention=True, use_mpnn=True,
+                 use_conditional_feature=True, rng=None):
+        super().__init__()
+        if not (use_spatial_attention or use_mpnn):
+            raise ValueError("the spatial module needs at least one of attention / MPNN")
+        self.channels = channels
+        self.use_temporal = use_temporal
+        self.use_spatial = use_spatial
+        self.use_spatial_attention = use_spatial_attention
+        self.use_mpnn = use_mpnn
+        self.use_conditional_feature = use_conditional_feature
+
+        self.diffusion_projection = Linear(diffusion_dim, channels, rng=rng)
+
+        if use_temporal:
+            self.temporal_attention = MultiHeadAttention(channels, heads, rng=rng)
+
+        if use_spatial:
+            if use_spatial_attention:
+                if virtual_nodes < num_nodes:
+                    self.spatial_attention = VirtualNodeAttention(
+                        channels, heads, num_nodes, virtual_nodes, rng=rng
+                    )
+                else:
+                    self.spatial_attention = MultiHeadAttention(channels, heads, rng=rng)
+                self.spatial_norm = LayerNorm(channels)
+            if use_mpnn:
+                self.message_passing = MPNN(channels, adjacency, order=mpnn_order, rng=rng)
+            self.spatial_mlp = MLP(channels, channels, channels, activation="gelu", rng=rng)
+
+        self.gate_projection = Conv1x1(channels, 2 * channels, rng=rng)
+        self.gate = GatedActivation()
+        self.output_projection = Conv1x1(channels, 2 * channels, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Sub-blocks
+    # ------------------------------------------------------------------
+    def _temporal_block(self, hidden, prior):
+        """γ_T: temporal attention; weights from the prior when enabled."""
+        if not self.use_temporal:
+            return hidden
+        query_source = prior if (self.use_conditional_feature and prior is not None) else hidden
+        return self.temporal_attention(hidden, query_source=query_source)
+
+    def _spatial_block(self, hidden, prior):
+        """γ_S: spatial attention + MPNN aggregation (Eq. 6)."""
+        if not self.use_spatial:
+            return hidden
+        branches = []
+        if self.use_spatial_attention:
+            swapped = hidden.swapaxes(1, 2)               # (B, L, N, d)
+            if self.use_conditional_feature and prior is not None:
+                prior_swapped = prior.swapaxes(1, 2)
+            else:
+                prior_swapped = swapped
+            attended = self.spatial_attention(swapped, query_source=prior_swapped)
+            attended = attended.swapaxes(1, 2)
+            branches.append(self.spatial_norm(attended + hidden))
+        if self.use_mpnn:
+            branches.append(self.message_passing(hidden))
+        combined = branches[0]
+        for branch in branches[1:]:
+            combined = combined + branch
+        return self.spatial_mlp(combined)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, hidden, prior, diffusion_embedding, auxiliary=None):
+        """Process one layer.
+
+        Parameters
+        ----------
+        hidden:
+            ``(batch, node, time, channels)`` noisy representation.
+        prior:
+            ``(batch, node, time, channels)`` conditional feature ``H^pri``
+            (may be ``None`` for the w/o CF ablation).
+        diffusion_embedding:
+            ``(batch, diffusion_dim)`` embedded diffusion step.
+        auxiliary:
+            Optional auxiliary information ``U`` added to the hidden state.
+
+        Returns
+        -------
+        (residual, skip):
+            Residual output feeding the next layer and the skip connection.
+        """
+        step = self.diffusion_projection(diffusion_embedding)     # (B, d)
+        step = step.expand_dims(1).expand_dims(1)                 # (B, 1, 1, d)
+        x = hidden + step
+        if auxiliary is not None:
+            x = x + auxiliary
+
+        temporal = self._temporal_block(x, prior)
+        spatial = self._spatial_block(temporal, prior)
+
+        gated = self.gate(self.gate_projection(spatial))
+        projected = self.output_projection(gated)
+        residual = projected[..., : self.channels]
+        skip = projected[..., self.channels:]
+        return (hidden + residual) * _SQRT_HALF, skip

@@ -1,0 +1,49 @@
+"""Datasets, missing-pattern injection, mask strategies and batching."""
+
+from .datasets import SpatioTemporalDataset, DatasetSplit
+from .synthetic import (
+    generate_signals,
+    aqi36_like,
+    metr_la_like,
+    pems_bay_like,
+    make_dataset,
+)
+from .missing import (
+    inject_point_missing,
+    inject_block_missing,
+    inject_simulated_failure,
+    mask_sensors,
+    missing_rate,
+)
+from .masks import (
+    point_strategy,
+    block_strategy,
+    historical_strategy,
+    hybrid_strategy,
+    MaskStrategy,
+)
+from .windows import WindowBatch, WindowSampler
+from .scalers import StandardScaler
+
+__all__ = [
+    "SpatioTemporalDataset",
+    "DatasetSplit",
+    "generate_signals",
+    "aqi36_like",
+    "metr_la_like",
+    "pems_bay_like",
+    "make_dataset",
+    "inject_point_missing",
+    "inject_block_missing",
+    "inject_simulated_failure",
+    "mask_sensors",
+    "missing_rate",
+    "point_strategy",
+    "block_strategy",
+    "historical_strategy",
+    "hybrid_strategy",
+    "MaskStrategy",
+    "WindowBatch",
+    "WindowSampler",
+    "StandardScaler",
+]

@@ -1,0 +1,124 @@
+"""Training mask strategies (§III-A and §IV-D of the paper).
+
+During training the observed values of each window are split into a
+*conditional* part (kept as model input) and an *imputation target* (erased
+and reconstructed).  PriSTI / CSDI use three strategies:
+
+* **point** — erase a uniformly random percentage ``m ∈ [0, 100]`` of data;
+* **block** — for every node erase a contiguous span of length ``[L/2, L]``
+  with some probability, plus 5 % random points;
+* **hybrid** — with probability 0.5 use the point strategy, otherwise the
+  block strategy or a *historical* missing pattern borrowed from another
+  training sample.
+
+All functions operate on a window's observed mask of shape ``(node, time)``
+and return the conditional mask (subset of the observed mask).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "point_strategy",
+    "block_strategy",
+    "historical_strategy",
+    "hybrid_strategy",
+    "MaskStrategy",
+]
+
+
+def _as_window_mask(mask):
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise ValueError("window mask must be 2-dimensional (node, time)")
+    return mask.astype(bool)
+
+
+def point_strategy(observed_mask, rng=None):
+    """Erase a random fraction (uniform in [0, 1]) of observed points."""
+    rng = rng or np.random.default_rng(0)
+    observed = _as_window_mask(observed_mask)
+    rate = rng.random()
+    erase = (rng.random(observed.shape) < rate) & observed
+    return observed & ~erase
+
+
+def block_strategy(observed_mask, block_probability=0.15, extra_point_rate=0.05, rng=None):
+    """Erase per-node spans of length ``[L/2, L]`` plus 5 % random points."""
+    rng = rng or np.random.default_rng(0)
+    observed = _as_window_mask(observed_mask)
+    num_nodes, length = observed.shape
+    erase = np.zeros_like(observed)
+    for node in range(num_nodes):
+        if rng.random() < rng.uniform(0.0, block_probability):
+            span = int(rng.integers(length // 2, length + 1))
+            start = int(rng.integers(0, max(length - span, 0) + 1))
+            erase[node, start:start + span] = True
+    erase |= rng.random(observed.shape) < extra_point_rate
+    erase &= observed
+    return observed & ~erase
+
+
+def historical_strategy(observed_mask, historical_mask, rng=None):
+    """Erase the positions that are missing in another sample's mask.
+
+    ``historical_mask`` is the observed mask of a different training sample;
+    whatever is missing there becomes the imputation target here, which makes
+    the training distribution mimic the dataset's real missing patterns
+    (used on AQI-36).
+    """
+    observed = _as_window_mask(observed_mask)
+    historical = _as_window_mask(historical_mask)
+    if historical.shape != observed.shape:
+        raise ValueError("historical mask must have the same shape as the window")
+    erase = observed & ~historical
+    conditional = observed & ~erase
+    if conditional.sum() == 0:
+        # Degenerate case: never erase everything, fall back to the point strategy.
+        return point_strategy(observed, rng=rng)
+    return conditional
+
+
+def hybrid_strategy(observed_mask, historical_mask=None, point_probability=0.5, rng=None):
+    """Hybrid strategy: point with probability 0.5, otherwise block/historical."""
+    rng = rng or np.random.default_rng(0)
+    observed = _as_window_mask(observed_mask)
+    if rng.random() < point_probability:
+        return point_strategy(observed, rng=rng)
+    if historical_mask is not None:
+        return historical_strategy(observed, historical_mask, rng=rng)
+    return block_strategy(observed, rng=rng)
+
+
+class MaskStrategy:
+    """Callable wrapper selecting one of the named strategies.
+
+    Parameters
+    ----------
+    name:
+        ``"point"``, ``"block"``, ``"hybrid"`` or ``"hybrid-historical"``.
+    rng:
+        Random generator shared across calls.
+    """
+
+    VALID = ("point", "block", "hybrid", "hybrid-historical")
+
+    def __init__(self, name="hybrid", rng=None):
+        if name not in self.VALID:
+            raise ValueError(f"unknown mask strategy '{name}' (valid: {self.VALID})")
+        self.name = name
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, observed_mask, historical_mask=None):
+        """Return the conditional mask for a window's observed mask."""
+        if self.name == "point":
+            return point_strategy(observed_mask, rng=self.rng)
+        if self.name == "block":
+            return block_strategy(observed_mask, rng=self.rng)
+        if self.name == "hybrid":
+            return hybrid_strategy(observed_mask, rng=self.rng)
+        return hybrid_strategy(observed_mask, historical_mask=historical_mask, rng=self.rng)
+
+    def __repr__(self):
+        return f"MaskStrategy({self.name})"

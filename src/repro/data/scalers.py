@@ -1,0 +1,64 @@
+"""Feature scaling utilities.
+
+Deep imputation models are trained on standardised data; statistics are
+computed from *observed* entries of the training split only, so that neither
+missing entries nor evaluation targets leak into the normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling fit on masked observations."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.std_ = None
+
+    def fit(self, values, mask=None):
+        """Fit scaling statistics.
+
+        Parameters
+        ----------
+        values:
+            Array of any shape whose last-but-one semantics do not matter; all
+            entries where ``mask`` is 1 contribute to the statistics.
+        mask:
+            Optional binary array of the same shape; defaults to "everything
+            observed".
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if mask is None:
+            observed = values.reshape(-1)
+        else:
+            mask = np.asarray(mask).astype(bool)
+            observed = values[mask]
+        if observed.size == 0:
+            raise ValueError("cannot fit a scaler with zero observed values")
+        self.mean_ = float(observed.mean())
+        self.std_ = float(observed.std())
+        if self.std_ < 1e-8:
+            self.std_ = 1.0
+        return self
+
+    def _check_fitted(self):
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fit before use")
+
+    def transform(self, values):
+        """Standardise ``values``."""
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+
+    def inverse_transform(self, values):
+        """Map standardised values back to the original scale."""
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+
+    def fit_transform(self, values, mask=None):
+        """Fit then transform."""
+        return self.fit(values, mask=mask).transform(values)

@@ -1,0 +1,247 @@
+"""Synthetic analogues of the paper's evaluation datasets.
+
+The public AQI-36, METR-LA and PEMS-BAY datasets are unavailable offline, so
+this module generates sensor networks and signals with the same statistical
+character:
+
+* strong diurnal (and weekly) seasonality,
+* smooth temporal dynamics with occasional regime changes (pollution episodes
+  or traffic congestion),
+* spatial correlation aligned with the geographic adjacency (nearby sensors
+  see similar values), and
+* the datasets' original missing data (13.24 % AQI-36, 8.10 % METR-LA,
+  0.02 % PEMS-BAY) before any evaluation mask is injected.
+
+Sizes default to scaled-down versions (fewer sensors, fewer days) so that CPU
+training of the diffusion models is feasible; pass explicit ``num_nodes`` /
+``num_days`` to scale up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.adjacency import row_normalize
+from ..graph.generators import city_station_network, highway_corridor_network
+from .datasets import DatasetSplit, SpatioTemporalDataset
+from .missing import inject_block_missing, inject_point_missing, inject_simulated_failure
+
+__all__ = [
+    "generate_signals",
+    "aqi36_like",
+    "metr_la_like",
+    "pems_bay_like",
+    "make_dataset",
+]
+
+
+def _smooth_factors(num_steps, num_factors, smoothness, rng):
+    """Latent temporal factors: AR(1) processes with the given smoothness."""
+    factors = np.zeros((num_steps, num_factors))
+    noise = rng.standard_normal((num_steps, num_factors))
+    for step in range(1, num_steps):
+        factors[step] = smoothness * factors[step - 1] + np.sqrt(1 - smoothness ** 2) * noise[step]
+    return factors
+
+
+def _spatial_loadings(adjacency, num_factors, diffusion_steps, rng):
+    """Node loadings smoothed over the graph so neighbours behave alike."""
+    num_nodes = adjacency.shape[0]
+    loadings = rng.standard_normal((num_nodes, num_factors))
+    transition = row_normalize(adjacency + np.eye(num_nodes))
+    for _ in range(diffusion_steps):
+        loadings = transition @ loadings
+    # Re-standardise so the diffusion does not shrink the signal.
+    loadings = (loadings - loadings.mean(axis=0)) / (loadings.std(axis=0) + 1e-8)
+    return loadings
+
+
+def generate_signals(network, num_steps, steps_per_day, base_level=60.0,
+                     seasonal_amplitude=12.0, weekly_amplitude=0.0,
+                     factor_scale=6.0, num_factors=3, smoothness=0.97,
+                     noise_scale=1.5, spatial_diffusion=3, nonnegative=False,
+                     rng=None):
+    """Generate a ``(time, node)`` signal matrix on a sensor network.
+
+    The signal is a sum of a per-node base level, a diurnal sine profile with
+    node-specific phase, an optional weekly modulation, spatially-correlated
+    latent factors and white observation noise.
+    """
+    rng = rng or np.random.default_rng(0)
+    num_nodes = network.num_nodes
+    adjacency = network.adjacency
+
+    time_index = np.arange(num_steps)
+    day_phase = 2.0 * np.pi * time_index / steps_per_day
+
+    node_base = base_level + rng.normal(0.0, base_level * 0.05, size=num_nodes)
+    node_phase = rng.normal(0.0, 0.3, size=num_nodes)
+    # Smooth phases over the graph so neighbouring sensors peak together.
+    transition = row_normalize(adjacency + np.eye(num_nodes))
+    for _ in range(spatial_diffusion):
+        node_phase = transition @ node_phase
+    node_amplitude = seasonal_amplitude * (1.0 + rng.normal(0.0, 0.15, size=num_nodes))
+
+    seasonal = node_amplitude[None, :] * np.sin(day_phase[:, None] + node_phase[None, :])
+    if weekly_amplitude:
+        week_phase = 2.0 * np.pi * time_index / (steps_per_day * 7)
+        seasonal = seasonal + weekly_amplitude * np.sin(week_phase)[:, None]
+
+    factors = _smooth_factors(num_steps, num_factors, smoothness, rng)
+    loadings = _spatial_loadings(adjacency, num_factors, spatial_diffusion, rng)
+    latent = factor_scale * factors @ loadings.T
+
+    noise = rng.normal(0.0, noise_scale, size=(num_steps, num_nodes))
+    values = node_base[None, :] + seasonal + latent + noise
+    if nonnegative:
+        values = np.maximum(values, 0.0)
+    return values
+
+
+def _original_missing(shape, rate, rng, block_fraction=0.5, max_block=24):
+    """Observed mask with approximately ``rate`` of entries missing.
+
+    Half of the missing data (by default) comes from contiguous per-sensor
+    outages, the rest from isolated points, which matches how real sensor
+    data goes missing.
+    """
+    num_steps, num_nodes = shape
+    observed = np.ones(shape, dtype=bool)
+    if rate <= 0:
+        return observed
+    target_missing = int(rate * num_steps * num_nodes)
+    block_budget = int(target_missing * block_fraction)
+    removed = 0
+    while removed < block_budget:
+        node = int(rng.integers(num_nodes))
+        start = int(rng.integers(num_steps))
+        length = int(rng.integers(2, max_block + 1))
+        segment = observed[start:start + length, node]
+        removed += int(segment.sum())
+        observed[start:start + length, node] = False
+    point_rate = (target_missing - removed) / max(observed.sum(), 1)
+    point_rate = min(max(point_rate, 0.0), 1.0)
+    observed &= ~(rng.random(shape) < point_rate)
+    return observed
+
+
+def make_dataset(network, values, observed_mask, steps_per_day, missing_pattern,
+                 split=None, rng=None, name="dataset", **pattern_kwargs):
+    """Assemble a dataset by injecting an evaluation missing pattern.
+
+    ``missing_pattern`` is one of ``"point"``, ``"block"``, ``"failure"`` or
+    ``"none"``.
+    """
+    rng = rng or np.random.default_rng(0)
+    if missing_pattern == "point":
+        new_observed, eval_mask = inject_point_missing(observed_mask, rng=rng, **pattern_kwargs)
+    elif missing_pattern == "block":
+        new_observed, eval_mask = inject_block_missing(observed_mask, rng=rng, **pattern_kwargs)
+    elif missing_pattern == "failure":
+        new_observed, eval_mask = inject_simulated_failure(observed_mask, rng=rng, **pattern_kwargs)
+    elif missing_pattern == "none":
+        eval_mask = np.zeros_like(np.asarray(observed_mask), dtype=bool)
+    else:
+        raise ValueError(f"unknown missing pattern '{missing_pattern}'")
+    return SpatioTemporalDataset(
+        values=values,
+        observed_mask=observed_mask,
+        eval_mask=eval_mask,
+        network=network,
+        steps_per_day=steps_per_day,
+        split=split,
+        name=name,
+    )
+
+
+def aqi36_like(num_nodes=12, num_days=20, steps_per_day=24, missing_pattern="failure",
+               original_missing=0.13, seed=0):
+    """Air-quality-style dataset: hourly PM2.5-like readings, city layout.
+
+    Defaults are scaled down from the real AQI-36 (36 stations, 12 months) to
+    keep CPU training fast; the generator accepts larger sizes.
+    """
+    rng = np.random.default_rng(seed)
+    network = city_station_network(num_nodes, rng=rng, name="aqi36-like")
+    num_steps = num_days * steps_per_day
+    values = generate_signals(
+        network,
+        num_steps,
+        steps_per_day,
+        base_level=55.0,
+        seasonal_amplitude=18.0,
+        factor_scale=25.0,
+        num_factors=3,
+        smoothness=0.985,
+        noise_scale=3.0,
+        spatial_diffusion=4,
+        nonnegative=True,
+        rng=rng,
+    )
+    observed = _original_missing(values.shape, original_missing, rng)
+    pattern_kwargs = {"target_rate": 0.246} if missing_pattern == "failure" else {}
+    # AQI-36 protocol: alternating months in the test set; with the scaled-down
+    # generator we simply hold out the final 30 % of the time axis.
+    split = DatasetSplit.fractional(num_steps, train=0.6, valid=0.1)
+    return make_dataset(
+        network, values, observed, steps_per_day, missing_pattern,
+        split=split, rng=rng, name="aqi36-like", **pattern_kwargs,
+    )
+
+
+def metr_la_like(num_nodes=16, num_days=12, steps_per_day=48, missing_pattern="block",
+                 original_missing=0.08, seed=1):
+    """Traffic-speed-style dataset modelled on METR-LA (highway corridors)."""
+    rng = np.random.default_rng(seed)
+    network = highway_corridor_network(num_nodes, rng=rng, name="metr-la-like")
+    num_steps = num_days * steps_per_day
+    values = generate_signals(
+        network,
+        num_steps,
+        steps_per_day,
+        base_level=60.0,
+        seasonal_amplitude=10.0,
+        weekly_amplitude=3.0,
+        factor_scale=12.0,
+        num_factors=3,
+        smoothness=0.96,
+        noise_scale=1.5,
+        spatial_diffusion=4,
+        nonnegative=True,
+        rng=rng,
+    )
+    observed = _original_missing(values.shape, original_missing, rng)
+    split = DatasetSplit.fractional(num_steps, train=0.7, valid=0.1)
+    return make_dataset(
+        network, values, observed, steps_per_day, missing_pattern,
+        split=split, rng=rng, name="metr-la-like",
+    )
+
+
+def pems_bay_like(num_nodes=20, num_days=12, steps_per_day=48, missing_pattern="block",
+                  original_missing=0.0002, seed=2):
+    """Traffic-speed-style dataset modelled on PEMS-BAY (denser, cleaner)."""
+    rng = np.random.default_rng(seed)
+    network = highway_corridor_network(num_nodes, num_corridors=4, rng=rng, name="pems-bay-like")
+    num_steps = num_days * steps_per_day
+    values = generate_signals(
+        network,
+        num_steps,
+        steps_per_day,
+        base_level=65.0,
+        seasonal_amplitude=8.0,
+        weekly_amplitude=2.0,
+        factor_scale=9.0,
+        num_factors=3,
+        smoothness=0.97,
+        noise_scale=1.2,
+        spatial_diffusion=4,
+        nonnegative=True,
+        rng=rng,
+    )
+    observed = _original_missing(values.shape, original_missing, rng)
+    split = DatasetSplit.fractional(num_steps, train=0.7, valid=0.1)
+    return make_dataset(
+        network, values, observed, steps_per_day, missing_pattern,
+        split=split, rng=rng, name="pems-bay-like",
+    )

@@ -1,0 +1,19 @@
+"""Diffusion probabilistic model machinery (schedules, forward/reverse process)."""
+
+from .schedules import (
+    NoiseSchedule,
+    quadratic_schedule,
+    linear_schedule,
+    cosine_schedule,
+    make_schedule,
+)
+from .ddpm import GaussianDiffusion
+
+__all__ = [
+    "NoiseSchedule",
+    "quadratic_schedule",
+    "linear_schedule",
+    "cosine_schedule",
+    "make_schedule",
+    "GaussianDiffusion",
+]

@@ -1,0 +1,156 @@
+"""Denoising diffusion probabilistic model machinery (Eq. 1–4 of the paper).
+
+The :class:`GaussianDiffusion` object owns a noise schedule and implements
+
+* the forward (diffusion) process ``q(x_t | x_0)`` used to create training
+  targets,
+* the reverse (denoising) step ``p_theta(x_{t-1} | x_t, ...)`` of Eq. (2)–(3),
+  given a noise-prediction callable, and
+* full ancestral sampling plus a strided DDIM-style sampler for fast
+  inference.
+
+It is deliberately model-agnostic: both PriSTI and the CSDI baseline plug in
+their own noise-prediction networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schedules import NoiseSchedule, make_schedule
+
+__all__ = ["GaussianDiffusion"]
+
+
+class GaussianDiffusion:
+    """Forward/reverse diffusion over numpy arrays.
+
+    The arrays handled here are plain ndarrays (the sampler never needs
+    gradients); the noise prediction callable is expected to accept
+    ``(noisy_target, step_indices)`` and return the predicted noise with the
+    same shape as ``noisy_target``.
+    """
+
+    def __init__(self, schedule, rng=None):
+        if isinstance(schedule, str):
+            schedule = make_schedule(schedule, num_steps=50)
+        if not isinstance(schedule, NoiseSchedule):
+            raise TypeError("schedule must be a NoiseSchedule or a schedule name")
+        self.schedule = schedule
+        self.rng = rng or np.random.default_rng(0)
+
+    @property
+    def num_steps(self):
+        return self.schedule.num_steps
+
+    # ------------------------------------------------------------------
+    # Forward process
+    # ------------------------------------------------------------------
+    def sample_steps(self, batch_size):
+        """Draw uniform diffusion steps ``t`` (0-indexed) for a batch."""
+        return self.rng.integers(0, self.num_steps, size=batch_size)
+
+    def q_sample(self, x0, steps, noise=None):
+        """Sample ``x_t ~ q(x_t | x_0)`` for per-sample integer steps.
+
+        ``x0`` has shape ``(batch, ...)``; ``steps`` has shape ``(batch,)``.
+        Returns ``(x_t, noise)``.
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        steps = np.asarray(steps, dtype=int)
+        if noise is None:
+            noise = self.rng.standard_normal(x0.shape)
+        shape = (len(steps),) + (1,) * (x0.ndim - 1)
+        sqrt_ab = self.schedule.sqrt_alpha_bar(steps).reshape(shape)
+        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(steps).reshape(shape)
+        return sqrt_ab * x0 + sqrt_1mab * noise, noise
+
+    # ------------------------------------------------------------------
+    # Reverse process
+    # ------------------------------------------------------------------
+    def predict_x0(self, x_t, predicted_noise, step):
+        """Recover the ``x_0`` estimate implied by a noise prediction."""
+        sqrt_ab = self.schedule.sqrt_alpha_bar(step)
+        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(step)
+        return (x_t - sqrt_1mab * predicted_noise) / max(sqrt_ab, 1e-12)
+
+    def p_mean(self, x_t, predicted_noise, step):
+        """Posterior mean ``mu_theta`` of Eq. (3)."""
+        alpha = self.schedule.alphas[step]
+        beta = self.schedule.betas[step]
+        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(step)
+        return (x_t - beta / sqrt_1mab * predicted_noise) / np.sqrt(alpha)
+
+    def p_sample_step(self, x_t, predicted_noise, step, noise=None):
+        """One ancestral sampling step ``x_t -> x_{t-1}``."""
+        mean = self.p_mean(x_t, predicted_noise, step)
+        if step == 0:
+            return mean
+        if noise is None:
+            noise = self.rng.standard_normal(x_t.shape)
+        sigma = np.sqrt(self.schedule.posterior_variance(step))
+        return mean + sigma * noise
+
+    def sample(self, shape, noise_fn, num_samples=1, initial_noise=None):
+        """Full reverse process from Gaussian noise (Algorithm 2).
+
+        Parameters
+        ----------
+        shape:
+            Shape of one sample, e.g. ``(batch, node, time)``.
+        noise_fn:
+            Callable ``(x_t, step) -> predicted_noise`` (step is an int).
+        num_samples:
+            Number of independent samples to draw (used for the probabilistic
+            evaluation with CRPS).
+        initial_noise:
+            Optional fixed starting noise of shape ``(num_samples,) + shape``.
+
+        Returns
+        -------
+        ndarray of shape ``(num_samples,) + shape``.
+        """
+        samples = []
+        for sample_index in range(num_samples):
+            if initial_noise is not None:
+                x_t = np.array(initial_noise[sample_index], dtype=np.float64)
+            else:
+                x_t = self.rng.standard_normal(shape)
+            for step in range(self.num_steps - 1, -1, -1):
+                predicted = noise_fn(x_t, step)
+                x_t = self.p_sample_step(x_t, predicted, step)
+            samples.append(x_t)
+        return np.stack(samples)
+
+    def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None, eta=0.0):
+        """Strided deterministic (DDIM) sampling for faster inference.
+
+        ``num_inference_steps`` selects an evenly spaced subset of the
+        training steps; ``eta=0`` gives a fully deterministic trajectory.
+        """
+        if num_inference_steps is None or num_inference_steps >= self.num_steps:
+            step_sequence = list(range(self.num_steps - 1, -1, -1))
+        else:
+            step_sequence = list(
+                np.unique(np.linspace(0, self.num_steps - 1, num_inference_steps, dtype=int))
+            )[::-1]
+
+        samples = []
+        alpha_bars = self.schedule.alpha_bars
+        for _ in range(num_samples):
+            x_t = self.rng.standard_normal(shape)
+            for position, step in enumerate(step_sequence):
+                predicted = noise_fn(x_t, step)
+                alpha_bar = alpha_bars[step]
+                prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
+                alpha_bar_prev = alpha_bars[prev_step] if prev_step >= 0 else 1.0
+                x0_estimate = (x_t - np.sqrt(1 - alpha_bar) * predicted) / np.sqrt(alpha_bar)
+                sigma = eta * np.sqrt(
+                    (1 - alpha_bar_prev) / (1 - alpha_bar) * (1 - alpha_bar / alpha_bar_prev)
+                ) if prev_step >= 0 else 0.0
+                direction = np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0)) * predicted
+                x_t = np.sqrt(alpha_bar_prev) * x0_estimate + direction
+                if sigma > 0:
+                    x_t = x_t + sigma * self.rng.standard_normal(shape)
+            samples.append(x_t)
+        return np.stack(samples)

@@ -1,0 +1,101 @@
+"""Noise schedules for the diffusion process.
+
+The paper uses the quadratic schedule of Eq. (13):
+
+``beta_t = ((T - t) / (T - 1) * sqrt(beta_1) + (t - 1) / (T - 1) * sqrt(beta_T)) ** 2``
+
+with ``beta_1 = 1e-4`` and ``beta_T = 0.2``.  A linear and a cosine schedule
+are provided as ablation alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseSchedule", "quadratic_schedule", "linear_schedule", "cosine_schedule", "make_schedule"]
+
+
+@dataclass
+class NoiseSchedule:
+    """Pre-computed diffusion constants.
+
+    Attributes
+    ----------
+    betas:
+        ``(T,)`` noise variances added at each step.
+    alphas:
+        ``1 - betas``.
+    alpha_bars:
+        Cumulative products ``prod_{i<=t} alpha_i``.
+    """
+
+    betas: np.ndarray
+
+    def __post_init__(self):
+        self.betas = np.asarray(self.betas, dtype=np.float64)
+        if self.betas.ndim != 1 or len(self.betas) < 1:
+            raise ValueError("betas must be a 1-D array with at least one step")
+        if np.any(self.betas <= 0) or np.any(self.betas >= 1):
+            raise ValueError("betas must lie strictly inside (0, 1)")
+        self.alphas = 1.0 - self.betas
+        self.alpha_bars = np.cumprod(self.alphas)
+
+    @property
+    def num_steps(self):
+        return len(self.betas)
+
+    def sqrt_alpha_bar(self, t):
+        """``sqrt(alpha_bar_t)`` for integer step(s) ``t`` (0-indexed)."""
+        return np.sqrt(self.alpha_bars[t])
+
+    def sqrt_one_minus_alpha_bar(self, t):
+        """``sqrt(1 - alpha_bar_t)`` for integer step(s) ``t`` (0-indexed)."""
+        return np.sqrt(1.0 - self.alpha_bars[t])
+
+    def posterior_variance(self, t):
+        """Reverse-process variance ``sigma_t^2`` of Eq. (3)."""
+        t = np.asarray(t)
+        alpha_bar_prev = np.where(t > 0, self.alpha_bars[np.maximum(t - 1, 0)], 1.0)
+        return (1.0 - alpha_bar_prev) / (1.0 - self.alpha_bars[t]) * self.betas[t]
+
+
+def quadratic_schedule(num_steps, beta_min=1e-4, beta_max=0.2):
+    """Quadratic schedule of Eq. (13) (the paper's default)."""
+    if num_steps == 1:
+        return NoiseSchedule(np.array([beta_max]))
+    t = np.arange(1, num_steps + 1, dtype=np.float64)
+    betas = (
+        (num_steps - t) / (num_steps - 1) * np.sqrt(beta_min)
+        + (t - 1) / (num_steps - 1) * np.sqrt(beta_max)
+    ) ** 2
+    return NoiseSchedule(betas)
+
+
+def linear_schedule(num_steps, beta_min=1e-4, beta_max=0.2):
+    """Linearly spaced betas (DDPM's original choice)."""
+    return NoiseSchedule(np.linspace(beta_min, beta_max, num_steps))
+
+
+def cosine_schedule(num_steps, offset=0.008, max_beta=0.999):
+    """Cosine schedule (Nichol & Dhariwal, 2021) for the schedule ablation."""
+    steps = np.arange(num_steps + 1, dtype=np.float64)
+    f = np.cos((steps / num_steps + offset) / (1 + offset) * np.pi / 2) ** 2
+    alphas_bar = f / f[0]
+    betas = 1.0 - alphas_bar[1:] / alphas_bar[:-1]
+    return NoiseSchedule(np.clip(betas, 1e-8, max_beta))
+
+
+_SCHEDULES = {
+    "quadratic": quadratic_schedule,
+    "linear": linear_schedule,
+    "cosine": cosine_schedule,
+}
+
+
+def make_schedule(name, num_steps, **kwargs):
+    """Factory for named schedules (``quadratic``, ``linear``, ``cosine``)."""
+    if name not in _SCHEDULES:
+        raise ValueError(f"unknown schedule '{name}' (valid: {sorted(_SCHEDULES)})")
+    return _SCHEDULES[name](num_steps, **kwargs)

@@ -1,0 +1,138 @@
+"""Benchmark execution profiles.
+
+The paper's experiments train GPU-scale models on months of sensor data; this
+reproduction runs on CPU, so every benchmark reads a profile that scales the
+datasets and training budgets.  ``fast`` (default) finishes the whole suite in
+well under an hour, ``smoke`` is a minutes-scale sanity run, and ``full``
+grows the graphs, windows and training budgets considerably.  Select with the
+``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Profile", "get_profile", "FAST", "FULL"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Sizes and budgets used by the experiment harness."""
+
+    name: str
+
+    # Dataset sizes
+    aqi_nodes: int
+    aqi_days: int
+    aqi_steps_per_day: int
+    traffic_nodes: int
+    traffic_days: int
+    traffic_steps_per_day: int
+
+    # Shared model/window sizes
+    window_length: int
+    channels: int
+    layers: int
+    heads: int
+    virtual_nodes: int
+
+    # Training budgets
+    diffusion_epochs: int
+    diffusion_iterations: int
+    diffusion_steps: int
+    deep_epochs: int
+    deep_iterations: int
+    batch_size: int
+
+    # Inference
+    num_samples: int
+
+    # Forecasting task
+    forecast_epochs: int
+    forecast_iterations: int
+
+
+SMOKE = Profile(
+    name="smoke",
+    aqi_nodes=8,
+    aqi_days=10,
+    aqi_steps_per_day=24,
+    traffic_nodes=10,
+    traffic_days=8,
+    traffic_steps_per_day=24,
+    window_length=16,
+    channels=16,
+    layers=2,
+    heads=4,
+    virtual_nodes=8,
+    diffusion_epochs=8,
+    diffusion_iterations=8,
+    diffusion_steps=16,
+    deep_epochs=12,
+    deep_iterations=8,
+    batch_size=8,
+    num_samples=6,
+    forecast_epochs=5,
+    forecast_iterations=6,
+)
+
+FAST = Profile(
+    name="fast",
+    aqi_nodes=10,
+    aqi_days=18,
+    aqi_steps_per_day=24,
+    traffic_nodes=12,
+    traffic_days=12,
+    traffic_steps_per_day=24,
+    window_length=16,
+    channels=16,
+    layers=2,
+    heads=4,
+    virtual_nodes=8,
+    diffusion_epochs=16,
+    diffusion_iterations=12,
+    diffusion_steps=20,
+    deep_epochs=25,
+    deep_iterations=10,
+    batch_size=8,
+    num_samples=8,
+    forecast_epochs=8,
+    forecast_iterations=8,
+)
+
+FULL = Profile(
+    name="full",
+    aqi_nodes=36,
+    aqi_days=60,
+    aqi_steps_per_day=24,
+    traffic_nodes=32,
+    traffic_days=30,
+    traffic_steps_per_day=48,
+    window_length=24,
+    channels=32,
+    layers=4,
+    heads=8,
+    virtual_nodes=16,
+    diffusion_epochs=60,
+    diffusion_iterations=16,
+    diffusion_steps=50,
+    deep_epochs=60,
+    deep_iterations=16,
+    batch_size=16,
+    num_samples=32,
+    forecast_epochs=30,
+    forecast_iterations=16,
+)
+
+_PROFILES = {"smoke": SMOKE, "fast": FAST, "full": FULL}
+
+
+def get_profile(name=None):
+    """Return the requested profile (default: ``REPRO_PROFILE`` or ``fast``)."""
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "fast")
+    name = name.lower()
+    if name not in _PROFILES:
+        raise ValueError(f"unknown profile '{name}' (valid: {sorted(_PROFILES)})")
+    return _PROFILES[name]

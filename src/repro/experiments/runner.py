@@ -1,0 +1,310 @@
+"""Experiment runners — one function per table / figure of the paper.
+
+Each runner assembles the relevant datasets and methods through
+:mod:`repro.experiments.configs`, trains and evaluates them, and returns a
+:class:`~repro.metrics.report.ResultTable` (or a plain dict for the sweeps)
+whose rows/columns mirror the paper's layout.  The benchmark scripts under
+``benchmarks/`` call these runners and print the resulting tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import PriSTI
+from ..data.missing import inject_block_missing, inject_point_missing, mask_sensors
+from ..forecasting import ForecastingTask
+from ..graph.adjacency import node_connectivity
+from ..metrics import ResultTable, crps_from_samples, masked_mae
+from .configs import (
+    DEEP_METHODS,
+    PROBABILISTIC_METHODS,
+    TABLE3_GRID,
+    TABLE3_METHODS,
+    build_dataset,
+    build_method,
+    build_pristi_config,
+)
+from .profiles import get_profile
+
+__all__ = [
+    "evaluate_method",
+    "run_imputation_benchmark",
+    "run_crps_benchmark",
+    "run_downstream_forecasting",
+    "run_ablation_study",
+    "run_missing_rate_sweep",
+    "run_sensor_failure",
+    "run_hyperparameter_sweep",
+    "run_time_costs",
+]
+
+
+def evaluate_method(name, dataset, profile=None, dataset_name="metr-la", pattern="block",
+                    num_samples=None, seed=0):
+    """Train one method on a dataset and return its test metrics + timings."""
+    profile = profile or get_profile()
+    num_samples = num_samples or profile.num_samples
+    method = build_method(name, profile, dataset_name=dataset_name, pattern=pattern, seed=seed)
+    start = time.perf_counter()
+    method.fit(dataset)
+    training_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    result = method.impute(dataset, segment="test", num_samples=num_samples)
+    inference_seconds = time.perf_counter() - start
+    metrics = result.metrics()
+    metrics["training_seconds"] = training_seconds
+    metrics["inference_seconds"] = inference_seconds
+    return metrics, result
+
+
+# ----------------------------------------------------------------------
+# Table III — deterministic imputation errors
+# ----------------------------------------------------------------------
+def run_imputation_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False):
+    """MAE / MSE of every method on every dataset+pattern (Table III)."""
+    profile = profile or get_profile()
+    methods = methods or TABLE3_METHODS
+    grid = grid or TABLE3_GRID
+    table = ResultTable(title="Table III — MAE / MSE for spatiotemporal imputation")
+    for dataset_name, pattern in grid:
+        dataset = build_dataset(dataset_name, pattern, profile, seed=seed)
+        for method_name in methods:
+            metrics, _ = evaluate_method(
+                method_name, dataset, profile,
+                dataset_name=dataset_name, pattern=pattern, seed=seed,
+            )
+            table.add(method_name, f"{dataset_name}/{pattern}/MAE", metrics["mae"])
+            table.add(method_name, f"{dataset_name}/{pattern}/MSE", metrics["mse"])
+            if verbose:
+                print(f"{method_name:10s} {dataset_name}/{pattern}: "
+                      f"MAE={metrics['mae']:.3f} MSE={metrics['mse']:.3f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table IV — CRPS of the probabilistic methods
+# ----------------------------------------------------------------------
+def run_crps_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False):
+    """CRPS of the probabilistic methods (Table IV)."""
+    profile = profile or get_profile()
+    methods = methods or PROBABILISTIC_METHODS
+    grid = grid or TABLE3_GRID
+    table = ResultTable(title="Table IV — CRPS for spatiotemporal imputation")
+    for dataset_name, pattern in grid:
+        dataset = build_dataset(dataset_name, pattern, profile, seed=seed)
+        for method_name in methods:
+            metrics, _ = evaluate_method(
+                method_name, dataset, profile,
+                dataset_name=dataset_name, pattern=pattern, seed=seed,
+            )
+            table.add(method_name, f"{dataset_name}/{pattern}/CRPS", metrics["crps"])
+            if verbose:
+                print(f"{method_name:10s} {dataset_name}/{pattern}: CRPS={metrics['crps']:.4f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table V — downstream forecasting on imputed AQI data
+# ----------------------------------------------------------------------
+def run_downstream_forecasting(methods=("BRITS", "GRIN", "CSDI", "PriSTI"), profile=None,
+                               seed=0, verbose=False):
+    """Impute the air-quality dataset and train a forecaster on the result."""
+    profile = profile or get_profile()
+    dataset = build_dataset("aqi36", "failure", profile, seed=seed)
+    history = horizon = max(profile.window_length // 2, 4)
+    table = ResultTable(title="Table V — forecasting on imputed data (AQI-36-like)")
+
+    def forecasting_metrics(series):
+        task = ForecastingTask(
+            history=history, horizon=horizon,
+            channels=profile.channels, layers=2,
+            epochs=profile.forecast_epochs,
+            iterations_per_epoch=profile.forecast_iterations,
+            batch_size=profile.batch_size,
+            seed=seed,
+        )
+        return task.run(series, dataset.adjacency, eval_mask=dataset.observed_mask)
+
+    # "Ori." — the raw data without imputation (missing entries as zeros).
+    raw = dataset.values * dataset.input_mask
+    metrics = forecasting_metrics(raw)
+    table.add("Ori.", "MAE", metrics["mae"])
+    table.add("Ori.", "RMSE", metrics["rmse"])
+    if verbose:
+        print(f"Ori.      MAE={metrics['mae']:.3f} RMSE={metrics['rmse']:.3f}")
+
+    for method_name in methods:
+        method = build_method(method_name, profile, dataset_name="aqi36", pattern="failure", seed=seed)
+        method.fit(dataset)
+        # Impute the *entire* dataset (all splits) before forecasting.
+        pieces = [method.impute(dataset, segment=segment, num_samples=max(profile.num_samples // 2, 1)).median
+                  for segment in ("train", "valid", "test")]
+        imputed = np.concatenate(pieces, axis=0)
+        metrics = forecasting_metrics(imputed)
+        table.add(method_name, "MAE", metrics["mae"])
+        table.add(method_name, "RMSE", metrics["rmse"])
+        if verbose:
+            print(f"{method_name:10s} MAE={metrics['mae']:.3f} RMSE={metrics['rmse']:.3f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table VI — ablations
+# ----------------------------------------------------------------------
+def run_ablation_study(variants=("mix-STI", "w/o CF", "w/o spa", "w/o tem", "w/o MPNN", "w/o Attn", "PriSTI"),
+                       grid=(("aqi36", "failure"), ("metr-la", "block"), ("metr-la", "point")),
+                       profile=None, seed=0, verbose=False):
+    """MAE of the Table VI variants on AQI-36-like and METR-LA-like data."""
+    profile = profile or get_profile()
+    table = ResultTable(title="Table VI — ablation study (MAE)")
+    for dataset_name, pattern in grid:
+        dataset = build_dataset(dataset_name, pattern, profile, seed=seed)
+        for variant in variants:
+            config = build_pristi_config(profile, dataset_name, pattern, seed=seed).ablation(variant)
+            model = PriSTI(config)
+            model.fit(dataset)
+            result = model.impute(dataset, segment="test", num_samples=max(profile.num_samples // 2, 1))
+            mae = result.metrics()["mae"]
+            table.add(variant, f"{dataset_name}/{pattern}", mae)
+            if verbose:
+                print(f"{variant:10s} {dataset_name}/{pattern}: MAE={mae:.3f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — sensitivity to the missing rate
+# ----------------------------------------------------------------------
+def run_missing_rate_sweep(methods=("BRITS", "GRIN", "CSDI", "PriSTI"),
+                           rates=(0.1, 0.3, 0.5, 0.7, 0.9), pattern="point",
+                           profile=None, seed=0, verbose=False):
+    """MAE of the strongest methods as the test missing rate grows (Fig. 5).
+
+    Each method is trained once on the standard METR-LA-like dataset and then
+    evaluated on test sets with increasingly aggressive injected missing.
+    """
+    profile = profile or get_profile()
+    dataset = build_dataset("metr-la", pattern, profile, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+
+    # Pre-train every method once.
+    trained = {}
+    for method_name in methods:
+        method = build_method(method_name, profile, dataset_name="metr-la", pattern=pattern, seed=seed)
+        method.fit(dataset)
+        trained[method_name] = method
+
+    table = ResultTable(title=f"Figure 5 — MAE vs missing rate (METR-LA-like, {pattern})")
+    for rate in rates:
+        if pattern == "point":
+            _, extra_eval = inject_point_missing(dataset.observed_mask, rate=rate,
+                                                 rng=np.random.default_rng(seed + int(rate * 100)))
+        else:
+            _, extra_eval = inject_block_missing(
+                dataset.observed_mask, point_rate=rate * 0.4,
+                block_probability=rate * 0.01, min_length=6, max_length=24,
+                rng=np.random.default_rng(seed + int(rate * 100)),
+            )
+        sparse_dataset = dataset.with_eval_mask(extra_eval | dataset.eval_mask)
+        for method_name, method in trained.items():
+            result = method.impute(sparse_dataset, segment="test",
+                                   num_samples=max(profile.num_samples // 2, 1))
+            mae = result.metrics()["mae"]
+            table.add(method_name, f"{int(rate * 100)}%", mae)
+            if verbose:
+                print(f"{method_name:10s} rate={rate:.0%}: MAE={mae:.3f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — imputation for completely unobserved sensors
+# ----------------------------------------------------------------------
+def run_sensor_failure(methods=("GRIN", "PriSTI"), profile=None, seed=0, verbose=False):
+    """Hide the most- and least-connected sensors entirely and impute them."""
+    profile = profile or get_profile()
+    dataset = build_dataset("aqi36", "failure", profile, seed=seed)
+    connectivity = node_connectivity(dataset.adjacency)
+    highest = int(np.argmax(connectivity))
+    lowest = int(np.argmin(connectivity))
+
+    table = ResultTable(title="Figure 7 — imputation of unobserved sensors (MAE)")
+    for station, label in ((highest, "highest-connectivity"), (lowest, "lowest-connectivity")):
+        observed, eval_mask = mask_sensors(dataset.observed_mask, [station])
+        failed = dataset.with_eval_mask(eval_mask | dataset.eval_mask)
+        for method_name in methods:
+            method = build_method(method_name, profile, dataset_name="aqi36", pattern="failure", seed=seed)
+            method.fit(failed)
+            result = method.impute(failed, segment="test",
+                                   num_samples=max(profile.num_samples // 2, 1))
+            # Score only the failed station's entries within the test split.
+            test_eval = failed.segment("test")[2]
+            station_mask = np.zeros_like(test_eval)
+            station_mask[:, station] = test_eval[:, station]
+            mae = masked_mae(result.median, result.values, station_mask)
+            table.add(method_name, label, mae)
+            if verbose:
+                print(f"{method_name:10s} station={station} ({label}): MAE={mae:.3f}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — hyperparameter sensitivity
+# ----------------------------------------------------------------------
+def run_hyperparameter_sweep(profile=None, seed=0, verbose=False,
+                             channel_sizes=(8, 16, 32), beta_max_values=(0.1, 0.2, 0.3, 0.4),
+                             virtual_nodes=(4, 8, 16), schedules=("quadratic", "linear")):
+    """MAE of PriSTI as d, beta_T, k and the schedule vary (Fig. 8 + extra)."""
+    profile = profile or get_profile()
+    dataset = build_dataset("metr-la", "block", profile, seed=seed)
+    table = ResultTable(title="Figure 8 — hyperparameter sensitivity (MAE, METR-LA-like block)")
+
+    def evaluate(config, row, column):
+        model = PriSTI(config)
+        model.fit(dataset)
+        result = model.impute(dataset, segment="test", num_samples=max(profile.num_samples // 2, 1))
+        mae = result.metrics()["mae"]
+        table.add(row, column, mae)
+        if verbose:
+            print(f"{row} = {column}: MAE={mae:.3f}")
+
+    base = build_pristi_config(profile, "metr-la", "block", seed=seed)
+    for channels in channel_sizes:
+        config = base.variant(channels=channels,
+                              heads=min(base.heads, channels),
+                              diffusion_embedding_dim=2 * channels,
+                              temporal_encoding_dim=2 * channels,
+                              node_embedding_dim=max(channels // 2, 4))
+        evaluate(config, "channel size d", str(channels))
+    for beta_max in beta_max_values:
+        evaluate(base.variant(beta_max=beta_max), "max noise level betaT", str(beta_max))
+    for k in virtual_nodes:
+        evaluate(base.variant(virtual_nodes=k), "virtual nodes k", str(k))
+    for schedule in schedules:
+        evaluate(base.variant(schedule=schedule), "noise schedule", schedule)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — training and inference time
+# ----------------------------------------------------------------------
+def run_time_costs(methods=DEEP_METHODS, datasets=(("aqi36", "failure"), ("metr-la", "block")),
+                   profile=None, seed=0, verbose=False):
+    """Wall-clock training / inference time of the deep methods (Fig. 9)."""
+    profile = profile or get_profile()
+    table = ResultTable(title="Figure 9 — time costs (seconds)")
+    for dataset_name, pattern in datasets:
+        dataset = build_dataset(dataset_name, pattern, profile, seed=seed)
+        for method_name in methods:
+            metrics, _ = evaluate_method(
+                method_name, dataset, profile,
+                dataset_name=dataset_name, pattern=pattern, seed=seed,
+                num_samples=max(profile.num_samples // 2, 1),
+            )
+            table.add(method_name, f"{dataset_name}/train-s", metrics["training_seconds"])
+            table.add(method_name, f"{dataset_name}/infer-s", metrics["inference_seconds"])
+            if verbose:
+                print(f"{method_name:10s} {dataset_name}: train={metrics['training_seconds']:.1f}s "
+                      f"infer={metrics['inference_seconds']:.1f}s")
+    return table

@@ -1,0 +1,6 @@
+"""Downstream spatiotemporal forecasting on imputed data (Table V)."""
+
+from .graph_wavenet import GraphWaveNetForecaster
+from .forecaster import ForecastingTask
+
+__all__ = ["GraphWaveNetForecaster", "ForecastingTask"]

@@ -1,0 +1,25 @@
+"""Spatial substrate: geographic adjacency and sensor-network generators."""
+
+from .adjacency import (
+    pairwise_distances,
+    gaussian_kernel_adjacency,
+    thresholded_gaussian_adjacency,
+    row_normalize,
+    symmetric_normalize,
+    forward_backward_transitions,
+    node_connectivity,
+)
+from .generators import SensorNetwork, highway_corridor_network, city_station_network
+
+__all__ = [
+    "pairwise_distances",
+    "gaussian_kernel_adjacency",
+    "thresholded_gaussian_adjacency",
+    "row_normalize",
+    "symmetric_normalize",
+    "forward_backward_transitions",
+    "node_connectivity",
+    "SensorNetwork",
+    "highway_corridor_network",
+    "city_station_network",
+]

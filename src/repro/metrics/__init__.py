@@ -1,0 +1,22 @@
+"""Evaluation metrics: masked deterministic errors, CRPS and result tables."""
+
+from .deterministic import masked_mae, masked_mse, masked_rmse, masked_mre
+from .probabilistic import (
+    quantile_loss,
+    crps_from_samples,
+    empirical_quantiles,
+    interval_coverage,
+)
+from .report import ResultTable
+
+__all__ = [
+    "masked_mae",
+    "masked_mse",
+    "masked_rmse",
+    "masked_mre",
+    "quantile_loss",
+    "crps_from_samples",
+    "empirical_quantiles",
+    "interval_coverage",
+    "ResultTable",
+]

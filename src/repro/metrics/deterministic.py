@@ -1,0 +1,49 @@
+"""Deterministic imputation metrics (masked MAE / MSE / RMSE / MRE).
+
+All metrics are evaluated only on the entries selected by ``mask`` — the
+artificially removed evaluation targets — matching the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["masked_mae", "masked_mse", "masked_rmse", "masked_mre"]
+
+
+def _prepare(prediction, target, mask):
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if mask is None:
+        mask = np.ones_like(target, dtype=bool)
+    mask = np.asarray(mask).astype(bool)
+    if prediction.shape != target.shape or mask.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {prediction.shape}, target {target.shape}, mask {mask.shape}"
+        )
+    if mask.sum() == 0:
+        raise ValueError("mask selects no entries to evaluate")
+    return prediction[mask], target[mask]
+
+
+def masked_mae(prediction, target, mask=None):
+    """Mean absolute error over masked entries."""
+    predicted, truth = _prepare(prediction, target, mask)
+    return float(np.abs(predicted - truth).mean())
+
+
+def masked_mse(prediction, target, mask=None):
+    """Mean squared error over masked entries."""
+    predicted, truth = _prepare(prediction, target, mask)
+    return float(((predicted - truth) ** 2).mean())
+
+
+def masked_rmse(prediction, target, mask=None):
+    """Root mean squared error over masked entries."""
+    return float(np.sqrt(masked_mse(prediction, target, mask)))
+
+
+def masked_mre(prediction, target, mask=None, eps=1e-8):
+    """Mean relative error: sum |error| / sum |target|."""
+    predicted, truth = _prepare(prediction, target, mask)
+    return float(np.abs(predicted - truth).sum() / (np.abs(truth).sum() + eps))

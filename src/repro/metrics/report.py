@@ -1,0 +1,103 @@
+"""Aggregation of experiment results into printable tables."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """Accumulate metric values keyed by (row, column) and render a table.
+
+    Rows are typically methods; columns are dataset/pattern/metric tuples.
+    Multiple values added to the same cell (e.g. repeated seeds) are reported
+    as ``mean ± std``.
+    """
+
+    def __init__(self, title=""):
+        self.title = title
+        self._cells = OrderedDict()
+        self._columns = []
+
+    def add(self, row, column, value):
+        """Record one value for ``(row, column)``."""
+        key = (row, column)
+        self._cells.setdefault(key, []).append(float(value))
+        if column not in self._columns:
+            self._columns.append(column)
+
+    def rows(self):
+        """Row labels in insertion order."""
+        seen = OrderedDict()
+        for row, _ in self._cells:
+            seen.setdefault(row, None)
+        return list(seen)
+
+    def columns(self):
+        """Column labels in insertion order."""
+        return list(self._columns)
+
+    def cell(self, row, column):
+        """Return (mean, std, count) for a cell, or None when empty."""
+        values = self._cells.get((row, column))
+        if not values:
+            return None
+        array = np.asarray(values, dtype=np.float64)
+        return float(array.mean()), float(array.std()), len(array)
+
+    def as_dict(self):
+        """Nested dict {row: {column: mean}} of cell means."""
+        output = {}
+        for row in self.rows():
+            output[row] = {}
+            for column in self.columns():
+                stats = self.cell(row, column)
+                if stats is not None:
+                    output[row][column] = stats[0]
+        return output
+
+    def best_row(self, column, mode="min"):
+        """Row label with the best mean value in ``column``."""
+        best_label, best_value = None, None
+        for row in self.rows():
+            stats = self.cell(row, column)
+            if stats is None:
+                continue
+            value = stats[0]
+            if best_value is None or (value < best_value if mode == "min" else value > best_value):
+                best_label, best_value = row, value
+        return best_label
+
+    def render(self, float_format="{:.4f}"):
+        """Render the table as aligned plain text."""
+        columns = self.columns()
+        header = ["method"] + [str(c) for c in columns]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        body = []
+        for row in self.rows():
+            entries = [str(row)]
+            for column in columns:
+                stats = self.cell(row, column)
+                if stats is None:
+                    entries.append("-")
+                else:
+                    mean, std, count = stats
+                    text = float_format.format(mean)
+                    if count > 1:
+                        text += " ±" + float_format.format(std)
+                    entries.append(text)
+            body.append(entries)
+        widths = [max(len(row[i]) for row in [header] + body) for i in range(len(header))]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for entries in body:
+            lines.append("  ".join(e.ljust(w) for e, w in zip(entries, widths)))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

@@ -1,0 +1,59 @@
+"""Neural network building blocks on top of :mod:`repro.tensor`.
+
+Provides the layers needed by PriSTI and the deep baselines: dense layers,
+layer normalisation, gated activations, multi-head (and prior-conditioned /
+virtual-node) attention, Graph-WaveNet message passing, embeddings, recurrent
+cells and optimisers.
+"""
+
+from .module import Module, Parameter, Sequential, ModuleList
+from .linear import Linear, Conv1x1
+from .norm import LayerNorm
+from .activations import ReLU, Sigmoid, Tanh, GELU, SiLU, LeakyReLU, GatedActivation
+from .dropout import Dropout
+from .mlp import MLP
+from .attention import MultiHeadAttention, VirtualNodeAttention
+from .graph import GraphWaveNetConv, MPNN
+from .embeddings import (
+    sinusoidal_table,
+    temporal_encoding,
+    DiffusionStepEmbedding,
+    NodeEmbedding,
+)
+from .recurrent import GRUCell, GRU
+from .optim import SGD, Adam, MilestoneLR, clip_grad_norm
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv1x1",
+    "LayerNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "SiLU",
+    "LeakyReLU",
+    "GatedActivation",
+    "Dropout",
+    "MLP",
+    "MultiHeadAttention",
+    "VirtualNodeAttention",
+    "GraphWaveNetConv",
+    "MPNN",
+    "sinusoidal_table",
+    "temporal_encoding",
+    "DiffusionStepEmbedding",
+    "NodeEmbedding",
+    "GRUCell",
+    "GRU",
+    "SGD",
+    "Adam",
+    "MilestoneLR",
+    "clip_grad_norm",
+    "init",
+]

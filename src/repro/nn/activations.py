@@ -1,0 +1,77 @@
+"""Activation modules.
+
+Functional versions live in :mod:`repro.tensor.ops`; these classes let the
+activations participate in :class:`~repro.nn.module.Sequential` stacks.
+"""
+
+from __future__ import annotations
+
+from ..tensor import ops
+from .module import Module
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "GELU", "SiLU", "LeakyReLU", "GatedActivation"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x):
+        return x.relu()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x):
+        return x.tanh()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    def forward(self, x):
+        return ops.gelu(x)
+
+
+class SiLU(Module):
+    """Sigmoid linear unit, used by the diffusion step embedding MLP."""
+
+    def forward(self, x):
+        return ops.silu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit."""
+
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return ops.leaky_relu(x, self.negative_slope)
+
+
+class GatedActivation(Module):
+    """WaveNet-style gated activation ``tanh(a) * sigmoid(b)``.
+
+    The input's channel axis is split in two halves: the first is the filter
+    branch and the second is the gate branch.  This is the "gated activation
+    unit" applied to each noise-estimation layer's output in the paper
+    (Fig. 2), following DiffWave / CSDI.
+    """
+
+    def forward(self, x):
+        channels = x.shape[-1]
+        if channels % 2 != 0:
+            raise ValueError("GatedActivation expects an even number of channels")
+        half = channels // 2
+        filter_part = x[..., :half]
+        gate_part = x[..., half:]
+        return filter_part.tanh() * gate_part.sigmoid()

@@ -1,0 +1,30 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from ..tensor.random import default_rng
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p=0.1, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or default_rng()
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(float) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"

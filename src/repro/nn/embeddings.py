@@ -1,0 +1,78 @@
+"""Embeddings: diffusion-step, temporal position and node identity.
+
+Follows the paper's §III-B3: the auxiliary information ``U = MLP(U_tem,
+U_spa)`` combines a 128-dimensional sine–cosine temporal encoding with a
+16-dimensional learnable node embedding, and diffusion steps are embedded with
+the DiffWave-style sine/cosine table followed by two dense layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from . import init
+from .linear import Linear
+from .module import Module, Parameter
+
+__all__ = [
+    "sinusoidal_table",
+    "temporal_encoding",
+    "DiffusionStepEmbedding",
+    "NodeEmbedding",
+]
+
+
+def sinusoidal_table(num_positions, dim):
+    """Classic transformer sine/cosine table of shape (num_positions, dim)."""
+    positions = np.arange(num_positions)[:, None].astype(np.float64)
+    half = dim // 2
+    frequencies = 10.0 ** (np.arange(half) / max(half - 1, 1) * 4.0)
+    angles = positions / frequencies[None, :]
+    table = np.zeros((num_positions, dim), dtype=np.float64)
+    table[:, 0::2] = np.sin(angles)[:, : (dim + 1) // 2]
+    table[:, 1::2] = np.cos(angles)[:, : dim // 2]
+    return table
+
+
+def temporal_encoding(length, dim=128):
+    """Sine–cosine temporal encoding ``U_tem`` of shape (length, dim)."""
+    return sinusoidal_table(length, dim)
+
+
+class DiffusionStepEmbedding(Module):
+    """Embed the diffusion step ``t`` (DiffWave / CSDI style).
+
+    A fixed sine/cosine table over the ``T`` diffusion steps is projected by
+    two dense layers with SiLU activations; the result is broadcast-added to
+    the hidden representation of each noise estimation layer.
+    """
+
+    def __init__(self, num_steps, embedding_dim=128, projection_dim=64, rng=None):
+        super().__init__()
+        self.num_steps = num_steps
+        self.embedding_dim = embedding_dim
+        self.projection_dim = projection_dim
+        self._table = sinusoidal_table(num_steps, embedding_dim)
+        self.proj1 = Linear(embedding_dim, projection_dim, rng=rng)
+        self.proj2 = Linear(projection_dim, projection_dim, rng=rng)
+
+    def forward(self, steps):
+        """Embed an array of integer diffusion steps, shape (batch,)."""
+        steps = np.asarray(steps, dtype=int).reshape(-1)
+        table = Tensor(self._table[steps])          # (batch, embedding_dim)
+        hidden = ops.silu(self.proj1(table))
+        return ops.silu(self.proj2(hidden))         # (batch, projection_dim)
+
+
+class NodeEmbedding(Module):
+    """Learnable per-node embedding ``U_spa`` of shape (num_nodes, dim)."""
+
+    def __init__(self, num_nodes, dim=16, rng=None):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_nodes, dim), std=0.1, rng=rng))
+
+    def forward(self):
+        return self.weight

@@ -1,0 +1,79 @@
+"""Weight initialisation helpers.
+
+All functions return plain numpy arrays; the calling layer wraps them in
+:class:`~repro.nn.module.Parameter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.random import default_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "normal",
+    "uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+]
+
+
+def zeros(shape):
+    """All-zero array."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape):
+    """All-one array."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def normal(shape, std=0.02, rng=None):
+    """Gaussian initialisation with the given standard deviation."""
+    rng = rng or default_rng()
+    return rng.standard_normal(shape) * std
+
+
+def uniform(shape, low=-0.05, high=0.05, rng=None):
+    """Uniform initialisation in ``[low, high)``."""
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def _fan_in_out(shape):
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[0]
+    fan_out = shape[-1]
+    if len(shape) > 2:
+        receptive = int(np.prod(shape[1:-1]))
+        fan_in *= receptive
+        fan_out *= receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, gain=1.0, rng=None):
+    """Glorot/Xavier uniform initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, gain=1.0, rng=None):
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.standard_normal(shape) * std
+
+
+def kaiming_uniform(shape, rng=None):
+    """He/Kaiming uniform initialisation for ReLU fan-in."""
+    rng = rng or default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)

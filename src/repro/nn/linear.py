@@ -1,0 +1,53 @@
+"""Dense layers operating on the trailing channel dimension."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Conv1x1"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` applied to the last axis.
+
+    Works for inputs of any rank; all leading axes are treated as batch axes,
+    which is convenient for the ``(batch, node, time, channel)`` layout used
+    throughout the library.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x):
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Conv1x1(Linear):
+    """1x1 convolution over the channel axis.
+
+    The paper uses ``Conv(·)`` as a pointwise channel mixer (e.g. lifting the
+    1-channel interpolated series to ``d`` channels, or producing the final
+    noise estimate).  With channels stored in the last axis this is exactly a
+    :class:`Linear` layer; the alias keeps the model code close to the paper's
+    notation.
+    """
+
+    def __init__(self, in_channels, out_channels, bias=True, rng=None):
+        super().__init__(in_channels, out_channels, bias=bias, rng=rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def __repr__(self):
+        return f"Conv1x1(in={self.in_channels}, out={self.out_channels})"

@@ -1,0 +1,49 @@
+"""Multilayer perceptron built from Linear layers."""
+
+from __future__ import annotations
+
+from .activations import GELU, ReLU, SiLU, Tanh
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module, ModuleList
+
+__all__ = ["MLP"]
+
+_ACTIVATIONS = {"relu": ReLU, "gelu": GELU, "silu": SiLU, "tanh": Tanh}
+
+
+class MLP(Module):
+    """Feed-forward network ``Linear -> activation -> ... -> Linear``.
+
+    Parameters
+    ----------
+    in_features, hidden_features, out_features:
+        Layer widths.  ``hidden_features`` may be an int (single hidden layer)
+        or a sequence of ints.
+    activation:
+        One of ``relu``, ``gelu``, ``silu``, ``tanh``.
+    dropout:
+        Dropout probability applied after every hidden activation.
+    """
+
+    def __init__(self, in_features, hidden_features, out_features,
+                 activation="relu", dropout=0.0, rng=None):
+        super().__init__()
+        if isinstance(hidden_features, int):
+            hidden_features = [hidden_features]
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation '{activation}'")
+        widths = [in_features, *hidden_features, out_features]
+        self.layers = ModuleList()
+        for idx, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
+            self.layers.append(Linear(w_in, w_out, rng=rng))
+        self.activation = _ACTIVATIONS[activation]()
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x):
+        layers = list(self.layers)
+        for layer in layers[:-1]:
+            x = self.activation(layer(x))
+            if self.dropout is not None:
+                x = self.dropout(x)
+        return layers[-1](x)

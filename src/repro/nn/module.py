@@ -1,0 +1,192 @@
+"""Minimal module system mirroring the torch.nn.Module contract.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules, exposes
+recursive parameter iteration for the optimisers, and carries a training-mode
+flag used by stochastic layers such as dropout.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name=None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by :meth:`parameters` and
+    :meth:`named_parameters`.
+    """
+
+    def __init__(self):
+        self._parameters = OrderedDict()
+        self._modules = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name, parameter):
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    def add_module(self, name, module):
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Parameter iteration
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, Parameter)`` pairs for this module and children."""
+        for name, parameter in self._parameters.items():
+            yield prefix + name, parameter
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self):
+        """Yield all parameters of this module and its children."""
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def num_parameters(self):
+        """Total number of scalar parameters."""
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def children(self):
+        """Yield direct child modules."""
+        yield from self._modules.values()
+
+    def modules(self):
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    # Training state and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        """Set training mode recursively (affects dropout)."""
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self):
+        """Switch to evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self):
+        """Clear accumulated gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Return a name → ndarray copy of all parameters."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter values from a dictionary produced by state_dict."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            target = own[name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != target.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {target.data.shape}"
+                )
+            target.data = value.copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self):
+        child_names = ", ".join(self._modules)
+        return f"{self.__class__.__name__}({child_names})"
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self._items = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._items.append(module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+
+class ModuleList(Module):
+    """Hold an ordered list of sub-modules without defining forward."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module):
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]

@@ -1,0 +1,32 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing channel dimension.
+
+    Used for the ``Norm(·)`` blocks in Eq. (5) of the paper (post-residual
+    normalisation of the attention and message-passing branches).
+    """
+
+    def __init__(self, num_features, eps=1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+
+    def forward(self, x):
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        normalised = (x - mean) / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+    def __repr__(self):
+        return f"LayerNorm({self.num_features})"

@@ -1,0 +1,122 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains with Adam at 1e-3, decaying to 1e-4 at 75 % of the epochs and
+1e-5 at 90 % — :class:`MilestoneLR` reproduces that schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam", "MilestoneLR", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total
+
+
+class _Optimizer:
+    """Shared bookkeeping for optimisers."""
+
+    def __init__(self, parameters, lr):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self):
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr=1e-2, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity += grad
+            parameter.data = parameter.data - self.lr * velocity
+
+
+class Adam(_Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MilestoneLR:
+    """Multiplicative learning-rate decay at fractional milestones.
+
+    With the paper's defaults the learning rate is multiplied by ``gamma`` at
+    75 % and 90 % of total training epochs.
+    """
+
+    def __init__(self, optimizer, total_epochs, milestones=(0.75, 0.9), gamma=0.1):
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.milestones = sorted(int(round(total_epochs * m)) for m in milestones)
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self):
+        """Advance one epoch and decay the learning rate if a milestone is hit."""
+        self._epoch += 1
+        if self._epoch in self.milestones:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr

@@ -1,0 +1,65 @@
+"""Recurrent cells used by the autoregressive baselines (BRITS, GRIN, rGAIN).
+
+Only GRU-style recurrence is needed; the cells operate on inputs of shape
+``(batch, features)`` and the :class:`GRU` wrapper unrolls a sequence of shape
+``(batch, time, features)``.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, cat
+from . import init
+from .linear import Linear
+from .module import Module
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (Cho et al., 2014)."""
+
+    def __init__(self, input_size, hidden_size, rng=None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.reset_gate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.update_gate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+
+    def forward(self, x, hidden):
+        """One step: ``x`` (batch, input), ``hidden`` (batch, hidden)."""
+        combined = cat([x, hidden], axis=-1)
+        reset = self.reset_gate(combined).sigmoid()
+        update = self.update_gate(combined).sigmoid()
+        candidate_input = cat([x, reset * hidden], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+    def initial_state(self, batch_size):
+        """Zero hidden state."""
+        return Tensor(init.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Unidirectional GRU unrolled over the time axis.
+
+    Input ``(batch, time, features)``; returns the sequence of hidden states
+    ``(batch, time, hidden)`` and the final hidden state.
+    """
+
+    def __init__(self, input_size, hidden_size, rng=None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x, hidden=None):
+        batch, length, _ = x.shape
+        if hidden is None:
+            hidden = self.cell.initial_state(batch)
+        outputs = []
+        for step in range(length):
+            hidden = self.cell(x[:, step, :], hidden)
+            outputs.append(hidden.expand_dims(1))
+        from ..tensor.ops import cat as cat_op
+
+        return cat_op(outputs, axis=1), hidden

@@ -1,0 +1,71 @@
+"""Automatic differentiation substrate built on numpy.
+
+The subpackage exposes the :class:`Tensor` graph node, functional operations,
+random helpers and a finite-difference gradient checker.  Every neural model
+in the reproduction (PriSTI, CSDI, BRITS, GRIN, the forecaster, …) is built
+on top of this engine.
+"""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from . import ops
+from .ops import (
+    add_n,
+    cat,
+    stack,
+    split,
+    where,
+    maximum,
+    minimum,
+    softmax,
+    log_softmax,
+    relu,
+    sigmoid,
+    tanh,
+    gelu,
+    silu,
+    leaky_relu,
+    mse_loss,
+    mae_loss,
+    masked_mse_loss,
+    masked_mae_loss,
+    binary_cross_entropy,
+    pad_time,
+)
+from .random import default_rng, randn, rand, randn_like, seed_everything
+from .gradcheck import check_gradient, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "add_n",
+    "cat",
+    "stack",
+    "split",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "silu",
+    "leaky_relu",
+    "mse_loss",
+    "mae_loss",
+    "masked_mse_loss",
+    "masked_mae_loss",
+    "binary_cross_entropy",
+    "pad_time",
+    "default_rng",
+    "randn",
+    "rand",
+    "randn_like",
+    "seed_everything",
+    "check_gradient",
+    "numerical_gradient",
+]

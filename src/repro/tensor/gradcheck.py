@@ -1,0 +1,70 @@
+"""Finite-difference gradient checking utilities.
+
+Used by the test suite to validate every autodiff operation and every neural
+network layer against a numerical Jacobian-vector product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradient"]
+
+
+def numerical_gradient(func, inputs, index, eps=1e-6):
+    """Central finite-difference gradient of ``func`` w.r.t. ``inputs[index]``.
+
+    Parameters
+    ----------
+    func:
+        Callable taking the list of :class:`Tensor` inputs and returning a
+        scalar :class:`Tensor`.
+    inputs:
+        List of input tensors.
+    index:
+        Which input to differentiate against.
+    eps:
+        Perturbation size.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(inputs).data)
+        flat[i] = original - eps
+        minus = float(func(inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(func, inputs, atol=1e-4, rtol=1e-3, eps=1e-6):
+    """Compare analytic and numerical gradients for all inputs.
+
+    Returns ``True`` when every input gradient matches within tolerance and
+    raises :class:`AssertionError` with a diagnostic message otherwise.
+    """
+    inputs = [t if isinstance(t, Tensor) else Tensor(t, requires_grad=True) for t in inputs]
+    for tensor in inputs:
+        tensor.requires_grad = True
+        tensor.zero_grad()
+
+    output = func(inputs)
+    if output.size != 1:
+        raise ValueError("check_gradient expects a scalar-valued function")
+    output.backward()
+
+    for index, tensor in enumerate(inputs):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}"
+            )
+    return True

@@ -1,0 +1,255 @@
+"""Functional operations on :class:`~repro.tensor.Tensor` objects.
+
+These complement the methods defined on the tensor class with operations that
+naturally take several tensors (concatenation, stacking, where) or that are
+conventionally written in functional form (softmax, losses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "add_n",
+    "cat",
+    "stack",
+    "split",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "silu",
+    "leaky_relu",
+    "mse_loss",
+    "mae_loss",
+    "masked_mse_loss",
+    "masked_mae_loss",
+    "binary_cross_entropy",
+    "pad_time",
+]
+
+
+def add_n(tensors):
+    """Sum a sequence of tensors elementwise."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("add_n() requires at least one tensor")
+    out = tensors[0]
+    for tensor in tensors[1:]:
+        out = out + tensor
+    return out
+
+
+def cat(tensors, axis=0):
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(piece.reshape(tensor.data.shape))
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def split(tensor, sections, axis=0):
+    """Split a tensor into equally sized chunks along ``axis``."""
+    tensor = as_tensor(tensor)
+    size = tensor.shape[axis]
+    if size % sections != 0:
+        raise ValueError(f"cannot split axis of size {size} into {sections} sections")
+    chunk = size // sections
+    outputs = []
+    for i in range(sections):
+        slicer = [slice(None)] * tensor.ndim
+        slicer[axis] = slice(i * chunk, (i + 1) * chunk)
+        outputs.append(tensor[tuple(slicer)])
+    return outputs
+
+
+def where(condition, x, y):
+    """Elementwise select ``x`` where ``condition`` else ``y``.
+
+    ``condition`` is treated as a constant (no gradient flows through it).
+    """
+    condition = np.asarray(condition.data if isinstance(condition, Tensor) else condition)
+    mask = condition.astype(bool)
+    x = as_tensor(x)
+    y = as_tensor(y)
+    out_data = np.where(mask, x.data, y.data)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        if x.requires_grad:
+            x._accumulate(_reduce_like(grad * mask, x.data.shape))
+        if y.requires_grad:
+            y._accumulate(_reduce_like(grad * (~mask), y.data.shape))
+
+    return Tensor._from_op(out_data, (x, y), backward)
+
+
+def _reduce_like(grad, shape):
+    from .tensor import _unbroadcast
+
+    return _unbroadcast(np.asarray(grad, dtype=np.float64), shape)
+
+
+def maximum(x, y):
+    """Elementwise maximum with subgradient split evenly on ties."""
+    x = as_tensor(x)
+    y = as_tensor(y)
+    out_data = np.maximum(x.data, y.data)
+    x_wins = (x.data > y.data).astype(np.float64)
+    ties = (x.data == y.data).astype(np.float64) * 0.5
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        if x.requires_grad:
+            x._accumulate(_reduce_like(grad * (x_wins + ties), x.data.shape))
+        if y.requires_grad:
+            y._accumulate(_reduce_like(grad * (1.0 - x_wins - ties), y.data.shape))
+
+    return Tensor._from_op(out_data, (x, y), backward)
+
+
+def minimum(x, y):
+    """Elementwise minimum."""
+    return -maximum(-as_tensor(x), -as_tensor(y))
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    """Log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x):
+    return as_tensor(x).relu()
+
+
+def sigmoid(x):
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x):
+    return as_tensor(x).tanh()
+
+
+def gelu(x):
+    """Gaussian error linear unit using the tanh approximation."""
+    x = as_tensor(x)
+    inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def silu(x):
+    """Sigmoid-weighted linear unit (a.k.a. swish)."""
+    x = as_tensor(x)
+    return x * x.sigmoid()
+
+
+def leaky_relu(x, negative_slope=0.01):
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+    scale = Tensor(mask + negative_slope * (1.0 - mask))
+    return x * scale
+
+
+def mse_loss(prediction, target):
+    """Mean squared error between two tensors."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction, target):
+    """Mean absolute error between two tensors."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def masked_mse_loss(prediction, target, mask, eps=1e-8):
+    """Mean squared error restricted to entries where ``mask`` is 1."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    mask_array = np.asarray(mask.data if isinstance(mask, Tensor) else mask, dtype=np.float64)
+    mask_tensor = Tensor(mask_array)
+    diff = (prediction - target) * mask_tensor
+    denom = float(mask_array.sum()) + eps
+    return (diff * diff).sum() * (1.0 / denom)
+
+
+def masked_mae_loss(prediction, target, mask, eps=1e-8):
+    """Mean absolute error restricted to entries where ``mask`` is 1."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    mask_array = np.asarray(mask.data if isinstance(mask, Tensor) else mask, dtype=np.float64)
+    mask_tensor = Tensor(mask_array)
+    diff = ((prediction - target) * mask_tensor).abs()
+    denom = float(mask_array.sum()) + eps
+    return diff.sum() * (1.0 / denom)
+
+
+def binary_cross_entropy(prediction, target, eps=1e-7):
+    """Binary cross entropy on probabilities (used by the GAN baseline)."""
+    prediction = as_tensor(prediction).clip(eps, 1.0 - eps)
+    target = as_tensor(target)
+    loss = -(target * prediction.log() + (1.0 - target) * (1.0 - prediction).log())
+    return loss.mean()
+
+
+def pad_time(x, pad_left, pad_right, axis=-2):
+    """Zero-pad a tensor along the time axis (constant padding)."""
+    x = as_tensor(x)
+    pad_width = [(0, 0)] * x.ndim
+    pad_width[axis] = (pad_left, pad_right)
+    out_data = np.pad(x.data, pad_width)
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(pad_left, pad_left + x.shape[axis])
+    slicer = tuple(slicer)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad)[slicer])
+
+    return Tensor._from_op(out_data, (x,), backward)

@@ -1,0 +1,51 @@
+"""Random number helpers shared across the library.
+
+All stochastic components (weight initialisation, diffusion noise, mask
+strategies, synthetic data generation) draw from ``numpy.random.Generator``
+objects so that experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["default_rng", "randn", "rand", "randn_like", "seed_everything"]
+
+_GLOBAL_SEED = [0]
+
+
+def seed_everything(seed):
+    """Set the library-wide default seed used by :func:`default_rng`."""
+    _GLOBAL_SEED[0] = int(seed)
+
+
+def default_rng(seed=None):
+    """Return a ``numpy.random.Generator``.
+
+    When ``seed`` is ``None`` the library-wide seed set by
+    :func:`seed_everything` is used, offset by a call counter so that repeated
+    calls do not return identical streams.
+    """
+    if seed is None:
+        seed = _GLOBAL_SEED[0]
+    return np.random.default_rng(seed)
+
+
+def randn(*shape, rng=None, requires_grad=False, scale=1.0):
+    """Standard normal tensor of the given shape."""
+    rng = rng or default_rng()
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+
+
+def rand(*shape, rng=None, requires_grad=False):
+    """Uniform ``[0, 1)`` tensor of the given shape."""
+    rng = rng or default_rng()
+    return Tensor(rng.random(shape), requires_grad=requires_grad)
+
+
+def randn_like(tensor, rng=None):
+    """Standard normal tensor with the same shape as ``tensor``."""
+    rng = rng or default_rng()
+    return Tensor(rng.standard_normal(tensor.shape))

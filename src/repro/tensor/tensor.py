@@ -1,0 +1,512 @@
+"""Reverse-mode automatic differentiation over numpy ndarrays.
+
+This module is the computational substrate of the whole reproduction: the
+paper's noise-prediction network, its baselines and the training loops are all
+expressed in terms of :class:`Tensor`.  The design mirrors the familiar
+define-by-run style of PyTorch autograd: every operation records the parent
+tensors and a closure that propagates the output gradient back to them, and
+:meth:`Tensor.backward` walks the recorded graph in reverse topological order.
+
+Only the operations needed by the model zoo are implemented, but each one
+supports full numpy broadcasting, and gradients are validated against finite
+differences in ``tests/tensor``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Used by samplers and evaluation loops where gradients are never needed,
+    which keeps memory flat during the (potentially long) reverse diffusion
+    process.
+    """
+
+    def __enter__(self):
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _GRAD_ENABLED[0] = self._prev
+        return False
+
+
+def is_grad_enabled():
+    """Return ``True`` when new operations will be recorded on the graph."""
+    return _GRAD_ENABLED[0]
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
+
+    numpy broadcasting may add leading axes and/or stretch length-1 axes; the
+    corresponding gradient contribution is the sum over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from length 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, dtype=np.float64):
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A node in the autodiff graph wrapping a numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` by default.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad=False, _parents=(), name=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward = None
+        self._parents = tuple(_parents) if is_grad_enabled() else ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self):
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the value of a scalar (size-1) tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self):
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self):
+        """Return a detached deep copy of the tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(cls, data, parents, backward):
+        requires = any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires, _parents=parents if requires else ())
+        if requires and is_grad_enabled():
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Backpropagate through the recorded graph starting from this node.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the reachable subgraph.
+        topo = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.data.shape))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.data.shape)
+                )
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self):
+        out_data = -self.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other):
+        """Batched matrix multiplication following numpy ``@`` semantics."""
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self):
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def abs(self):
+        out_data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def clip(self, min_value=None, max_value=None):
+        """Clamp values; gradient is passed through inside the active range."""
+        out_data = np.clip(self.data, min_value, max_value)
+        mask = np.ones_like(self.data)
+        if min_value is not None:
+            mask = mask * (self.data >= min_value)
+        if max_value is not None:
+            mask = mask * (self.data <= max_value)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                expanded = np.broadcast_to(grad, self.data.shape)
+            self._accumulate(expanded)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.data.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims=False):
+        """Biased variance (matches LayerNorm usage)."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = (self.data == out_data).astype(np.float64)
+                mask = mask / mask.sum()
+                self._accumulate(mask * grad)
+            else:
+                expanded_out = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+                mask = (self.data == expanded_out).astype(np.float64)
+                mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                grad_exp = grad if keepdims else np.expand_dims(grad, axis=axis)
+                self._accumulate(mask * grad_exp)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(original_shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def swapaxes(self, axis1, axis2):
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(axes)
+
+    def expand_dims(self, axis):
+        out_data = np.expand_dims(self.data, axis=axis)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def squeeze(self, axis=None):
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def broadcast_to(self, shape):
+        out_data = np.broadcast_to(self.data, shape)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(np.asarray(grad), self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __getitem__(self, index):
+        out_data = self.data[index]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, np.asarray(grad))
+                self._accumulate(full)
+
+        return Tensor._from_op(out_data, (self,), backward)

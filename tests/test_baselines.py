@@ -1,0 +1,172 @@
+"""Tests for the baseline imputers (statistic, ML, factorisation, deep, diffusion)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    BATFImputer,
+    BRITSImputer,
+    CSDIImputer,
+    DailyAverageImputer,
+    GPVAEImputer,
+    GRINImputer,
+    KNNImputer,
+    KalmanFilterImputer,
+    LinearInterpolationImputer,
+    MICEImputer,
+    MeanImputer,
+    RGAINImputer,
+    TRMFImputer,
+    VARImputer,
+    VRINImputer,
+)
+from repro.core import PriSTIConfig
+from repro.core.imputer import ImputationResult
+
+DEEP_KWARGS = dict(window_length=12, hidden_size=8, epochs=2, iterations_per_epoch=2, batch_size=4)
+
+
+def _check_result(result, dataset):
+    values, observed, evaluation = dataset.segment("test")
+    visible = observed & ~evaluation
+    assert isinstance(result, ImputationResult)
+    assert result.median.shape == values.shape
+    assert np.all(np.isfinite(result.median))
+    # Observed entries must pass through unchanged.
+    assert np.allclose(result.median[visible], values[visible])
+    metrics = result.metrics()
+    assert np.isfinite(metrics["mae"]) and metrics["mae"] >= 0
+
+
+class TestStatisticBaselines:
+    @pytest.mark.parametrize("cls", [MeanImputer, DailyAverageImputer, KNNImputer,
+                                     LinearInterpolationImputer, KalmanFilterImputer,
+                                     MICEImputer, VARImputer, TRMFImputer, BATFImputer])
+    def test_fit_impute_contract(self, cls, tiny_traffic_dataset):
+        method = cls()
+        method.fit(tiny_traffic_dataset)
+        result = method.impute(tiny_traffic_dataset, segment="test")
+        _check_result(result, tiny_traffic_dataset)
+
+    def test_mean_imputer_uses_node_means(self, tiny_traffic_dataset):
+        method = MeanImputer().fit(tiny_traffic_dataset)
+        values, observed, evaluation = tiny_traffic_dataset.segment("train")
+        mask = observed & ~evaluation
+        node0_mean = values[:, 0][mask[:, 0]].mean()
+        assert method._node_means[0] == pytest.approx(node0_mean)
+
+    def test_daily_average_respects_period(self, tiny_traffic_dataset):
+        method = DailyAverageImputer().fit(tiny_traffic_dataset)
+        assert method._slot_means.shape == (tiny_traffic_dataset.steps_per_day,
+                                            tiny_traffic_dataset.num_nodes)
+
+    def test_linear_interpolation_beats_mean(self, tiny_traffic_dataset):
+        """On smooth sensor data interpolation must beat the historical mean."""
+        mean_mae = MeanImputer().fit(tiny_traffic_dataset).evaluate(tiny_traffic_dataset)["mae"]
+        interp_mae = LinearInterpolationImputer().fit(tiny_traffic_dataset) \
+            .evaluate(tiny_traffic_dataset)["mae"]
+        assert interp_mae < mean_mae
+
+    def test_knn_uses_neighbours(self, tiny_point_dataset):
+        """KNN should beat the global mean when spatial correlation exists."""
+        knn_mae = KNNImputer().fit(tiny_point_dataset).evaluate(tiny_point_dataset)["mae"]
+        mean_mae = MeanImputer().fit(tiny_point_dataset).evaluate(tiny_point_dataset)["mae"]
+        assert knn_mae < mean_mae * 1.2
+
+    def test_fit_requires_dataset_type(self):
+        with pytest.raises(TypeError):
+            MeanImputer().fit(np.zeros((4, 4)))
+
+    def test_evaluate_shortcut(self, tiny_traffic_dataset):
+        metrics = LinearInterpolationImputer().fit(tiny_traffic_dataset) \
+            .evaluate(tiny_traffic_dataset, segment="test")
+        assert {"mae", "mse", "rmse", "crps"} <= set(metrics)
+
+
+class TestFactorisationBaselines:
+    def test_trmf_reduces_error_vs_mean(self, tiny_point_dataset):
+        trmf_mae = TRMFImputer(rank=5, iterations=10).fit(tiny_point_dataset) \
+            .evaluate(tiny_point_dataset)["mae"]
+        mean_mae = MeanImputer().fit(tiny_point_dataset).evaluate(tiny_point_dataset)["mae"]
+        assert trmf_mae < mean_mae
+
+    def test_batf_finite_and_reasonable(self, tiny_air_dataset):
+        metrics = BATFImputer(rank=4, iterations=5).fit(tiny_air_dataset) \
+            .evaluate(tiny_air_dataset)
+        assert np.isfinite(metrics["mae"])
+
+
+class TestDeepBaselines:
+    @pytest.mark.parametrize("cls", [BRITSImputer, GRINImputer, RGAINImputer,
+                                     VRINImputer, GPVAEImputer])
+    def test_fit_impute_contract(self, cls, tiny_traffic_dataset):
+        method = cls(**DEEP_KWARGS)
+        method.fit(tiny_traffic_dataset)
+        result = method.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        _check_result(result, tiny_traffic_dataset)
+
+    def test_training_reduces_loss(self, tiny_traffic_dataset):
+        method = BRITSImputer(window_length=12, hidden_size=16, epochs=6,
+                              iterations_per_epoch=4, batch_size=4)
+        method.fit(tiny_traffic_dataset)
+        losses = method.history["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_probabilistic_flags(self):
+        assert VRINImputer(**DEEP_KWARGS).probabilistic
+        assert GPVAEImputer(**DEEP_KWARGS).probabilistic
+        assert not BRITSImputer(**DEEP_KWARGS).probabilistic
+
+    def test_probabilistic_samples_differ(self, tiny_traffic_dataset):
+        method = VRINImputer(**DEEP_KWARGS)
+        method.fit(tiny_traffic_dataset)
+        result = method.impute(tiny_traffic_dataset, segment="test", num_samples=3)
+        eval_mask = result.eval_mask
+        if eval_mask.sum():
+            spread = result.samples.std(axis=0)[eval_mask]
+            assert spread.max() > 0
+
+    def test_impute_before_fit_raises(self, tiny_traffic_dataset):
+        with pytest.raises(RuntimeError):
+            BRITSImputer(**DEEP_KWARGS).impute(tiny_traffic_dataset)
+
+    def test_rgain_trains_discriminator(self, tiny_traffic_dataset):
+        method = RGAINImputer(**DEEP_KWARGS)
+        method.fit(tiny_traffic_dataset)
+        assert method.discriminator is not None
+
+
+class TestCSDI:
+    def test_config_flags_forced(self):
+        method = CSDIImputer(PriSTIConfig.fast())
+        assert method.config.use_interpolation is False
+        assert method.config.use_conditional_feature is False
+        assert method.config.use_mpnn is False
+
+    def test_fit_impute_contract(self, tiny_traffic_dataset):
+        config = PriSTIConfig.fast(window_length=12, epochs=1, iterations_per_epoch=2,
+                                   num_diffusion_steps=6, num_samples=2, batch_size=4)
+        method = CSDIImputer(config)
+        method.fit(tiny_traffic_dataset)
+        result = method.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        _check_result(result, tiny_traffic_dataset)
+
+    def test_condition_is_raw_values(self):
+        method = CSDIImputer(PriSTIConfig.fast())
+        values = np.arange(12, dtype=float).reshape(1, 3, 4)
+        mask = np.ones_like(values)
+        mask[0, 0, :2] = 0
+        condition = method.build_condition(values * mask, mask)
+        assert np.allclose(condition, values * mask)
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        expected = {"Mean", "DA", "KNN", "Lin-ITP", "KF", "MICE", "VAR", "TRMF", "BATF",
+                    "V-RIN", "GP-VAE", "rGAIN", "BRITS", "GRIN", "CSDI"}
+        assert expected == set(BASELINE_REGISTRY)
+
+    def test_registry_instantiable(self):
+        for name, cls in BASELINE_REGISTRY.items():
+            assert callable(cls)

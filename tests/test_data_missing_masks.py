@@ -1,0 +1,125 @@
+"""Tests for missing-pattern injection and training mask strategies."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MaskStrategy,
+    block_strategy,
+    historical_strategy,
+    hybrid_strategy,
+    inject_block_missing,
+    inject_point_missing,
+    inject_simulated_failure,
+    mask_sensors,
+    missing_rate,
+    point_strategy,
+)
+
+
+@pytest.fixture
+def observed(rng):
+    return rng.random((200, 8)) > 0.1
+
+
+class TestEvaluationInjection:
+    def test_point_missing_rate(self, observed, rng):
+        new_observed, eval_mask = inject_point_missing(observed, rate=0.25, rng=rng)
+        rate = eval_mask.sum() / observed.sum()
+        assert 0.2 < rate < 0.3
+        assert not np.any(new_observed & eval_mask)
+        assert np.all(eval_mask <= observed)
+
+    def test_point_missing_zero_rate(self, observed, rng):
+        new_observed, eval_mask = inject_point_missing(observed, rate=0.0, rng=rng)
+        assert eval_mask.sum() == 0
+        assert np.array_equal(new_observed, observed)
+
+    def test_block_missing_creates_runs(self, observed, rng):
+        _, eval_mask = inject_block_missing(observed, point_rate=0.0, block_probability=0.01,
+                                            min_length=5, max_length=10, rng=rng)
+        # At least one column should contain a run of 5 consecutive masked steps.
+        has_run = False
+        for node in range(eval_mask.shape[1]):
+            column = eval_mask[:, node].astype(int)
+            run = np.convolve(column, np.ones(5, dtype=int), mode="valid")
+            if np.any(run == 5):
+                has_run = True
+        assert has_run
+
+    def test_simulated_failure_hits_target_rate(self, observed, rng):
+        _, eval_mask = inject_simulated_failure(observed, target_rate=0.25, rng=rng)
+        rate = eval_mask.sum() / observed.sum()
+        assert rate >= 0.2
+
+    def test_mask_sensors_hides_whole_column(self, observed):
+        new_observed, eval_mask = mask_sensors(observed, [2])
+        assert new_observed[:, 2].sum() == 0
+        assert np.array_equal(eval_mask[:, 2], observed[:, 2])
+        assert eval_mask[:, [0, 1, 3]].sum() == 0
+
+    def test_missing_rate_helper(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[:5] = True
+        assert missing_rate(mask) == pytest.approx(0.5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            inject_point_missing(np.ones(10))
+
+
+class TestTrainingMaskStrategies:
+    def test_point_strategy_subset(self, rng):
+        observed = rng.random((6, 24)) > 0.1
+        conditional = point_strategy(observed, rng=rng)
+        assert np.all(conditional <= observed)
+
+    def test_block_strategy_subset_and_erases(self, rng):
+        observed = np.ones((6, 24), dtype=bool)
+        conditional = block_strategy(observed, rng=rng)
+        assert np.all(conditional <= observed)
+        assert conditional.sum() < observed.sum()
+
+    def test_historical_strategy_uses_other_mask(self, rng):
+        observed = np.ones((4, 10), dtype=bool)
+        historical = np.ones((4, 10), dtype=bool)
+        historical[1, 2:6] = False
+        conditional = historical_strategy(observed, historical, rng=rng)
+        assert not conditional[1, 2:6].any()
+        assert conditional[0].all()
+
+    def test_historical_strategy_degenerate_falls_back(self, rng):
+        observed = np.ones((3, 8), dtype=bool)
+        historical = np.zeros((3, 8), dtype=bool)
+        conditional = historical_strategy(observed, historical, rng=rng)
+        assert np.all(conditional <= observed)
+
+    def test_historical_strategy_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            historical_strategy(np.ones((3, 8), dtype=bool), np.ones((3, 9), dtype=bool))
+
+    def test_hybrid_strategy_subset(self, rng):
+        observed = rng.random((5, 20)) > 0.2
+        for _ in range(5):
+            conditional = hybrid_strategy(observed, rng=rng)
+            assert np.all(conditional <= observed)
+
+    def test_mask_strategy_wrapper_names(self):
+        for name in MaskStrategy.VALID:
+            strategy = MaskStrategy(name)
+            assert name in repr(strategy)
+        with pytest.raises(ValueError):
+            MaskStrategy("bogus")
+
+    def test_mask_strategy_callable(self, rng):
+        observed = np.ones((4, 12), dtype=bool)
+        strategy = MaskStrategy("point", rng=rng)
+        conditional = strategy(observed)
+        assert conditional.shape == observed.shape
+
+    def test_strategies_are_stochastic(self):
+        observed = np.ones((6, 30), dtype=bool)
+        strategy = MaskStrategy("point", rng=np.random.default_rng(0))
+        first = strategy(observed)
+        second = strategy(observed)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,131 @@
+"""Tests for noise schedules and the DDPM forward/reverse machinery."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    GaussianDiffusion,
+    NoiseSchedule,
+    cosine_schedule,
+    linear_schedule,
+    make_schedule,
+    quadratic_schedule,
+)
+
+
+class TestSchedules:
+    def test_quadratic_matches_equation_13(self):
+        num_steps, beta_min, beta_max = 50, 1e-4, 0.2
+        schedule = quadratic_schedule(num_steps, beta_min, beta_max)
+        t = np.arange(1, num_steps + 1)
+        expected = ((num_steps - t) / (num_steps - 1) * np.sqrt(beta_min)
+                    + (t - 1) / (num_steps - 1) * np.sqrt(beta_max)) ** 2
+        assert np.allclose(schedule.betas, expected)
+        assert schedule.betas[0] == pytest.approx(beta_min)
+        assert schedule.betas[-1] == pytest.approx(beta_max)
+
+    def test_schedules_monotonic_alpha_bar(self):
+        for factory in (quadratic_schedule, linear_schedule, cosine_schedule):
+            schedule = factory(50)
+            assert np.all(np.diff(schedule.alpha_bars) < 0)
+            assert schedule.alpha_bars[-1] < 0.2
+
+    def test_alpha_bar_near_one_at_start(self):
+        schedule = quadratic_schedule(50)
+        assert schedule.alpha_bars[0] > 0.99
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(np.array([0.0, 0.1]))
+        with pytest.raises(ValueError):
+            NoiseSchedule(np.array([[0.1]]))
+
+    def test_make_schedule_factory(self):
+        assert make_schedule("quadratic", 10).num_steps == 10
+        assert make_schedule("linear", 10).num_steps == 10
+        assert make_schedule("cosine", 10).num_steps == 10
+        with pytest.raises(ValueError):
+            make_schedule("bogus", 10)
+
+    def test_posterior_variance_positive(self):
+        schedule = quadratic_schedule(20)
+        variances = schedule.posterior_variance(np.arange(20))
+        assert np.all(variances >= 0)
+        assert variances[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_step_schedule(self):
+        schedule = quadratic_schedule(1, beta_max=0.2)
+        assert schedule.num_steps == 1
+
+
+class TestForwardProcess:
+    def test_q_sample_statistics(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(50), rng=rng)
+        x0 = np.full((2000, 1), 3.0)
+        steps = np.full(2000, 49)
+        noisy, noise = diffusion.q_sample(x0, steps)
+        alpha_bar = diffusion.schedule.alpha_bars[49]
+        assert noisy.mean() == pytest.approx(np.sqrt(alpha_bar) * 3.0, abs=0.1)
+        assert noisy.std() == pytest.approx(np.sqrt(1 - alpha_bar), abs=0.1)
+
+    def test_q_sample_step_zero_close_to_data(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(50), rng=rng)
+        x0 = rng.standard_normal((4, 3, 5))
+        noisy, _ = diffusion.q_sample(x0, np.zeros(4, dtype=int))
+        assert np.abs(noisy - x0).mean() < 0.1
+
+    def test_sample_steps_range(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(17), rng=rng)
+        steps = diffusion.sample_steps(500)
+        assert steps.min() >= 0 and steps.max() <= 16
+
+    def test_predict_x0_inverts_q_sample(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(30), rng=rng)
+        x0 = rng.standard_normal((1, 4, 6))
+        noise = rng.standard_normal(x0.shape)
+        step = 17
+        noisy, _ = diffusion.q_sample(x0, np.array([step]), noise=noise)
+        recovered = diffusion.predict_x0(noisy[0], noise[0], step)
+        assert np.allclose(recovered, x0[0], atol=1e-10)
+
+
+class TestReverseProcess:
+    def _oracle(self, diffusion, x0):
+        def noise_fn(x_t, step):
+            alpha_bar = diffusion.schedule.alpha_bars[step]
+            return (x_t - np.sqrt(alpha_bar) * x0) / np.sqrt(1 - alpha_bar)
+        return noise_fn
+
+    def test_ancestral_sampling_recovers_oracle_target(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(25), rng=rng)
+        x0 = rng.standard_normal((1, 3, 8))
+        samples = diffusion.sample(x0.shape, self._oracle(diffusion, x0), num_samples=2)
+        assert samples.shape == (2,) + x0.shape
+        assert np.abs(samples - x0).mean() < 1e-8
+
+    def test_ddim_sampling_recovers_oracle_target(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(25), rng=rng)
+        x0 = rng.standard_normal((1, 3, 8))
+        samples = diffusion.sample_ddim(x0.shape, self._oracle(diffusion, x0),
+                                        num_samples=2, num_inference_steps=10)
+        assert np.abs(samples - x0).mean() < 0.05
+
+    def test_sampling_with_constant_zero_predictor_is_finite(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(10), rng=rng)
+        samples = diffusion.sample((1, 2, 4), lambda x_t, step: np.zeros_like(x_t), num_samples=1)
+        assert np.all(np.isfinite(samples))
+
+    def test_initial_noise_is_respected(self, rng):
+        diffusion = GaussianDiffusion(quadratic_schedule(10), rng=np.random.default_rng(0))
+        x0 = np.zeros((1, 2, 3))
+        fixed = np.zeros((1, 1, 2, 3))
+        first = diffusion.sample(x0.shape, self._oracle(diffusion, x0), num_samples=1,
+                                 initial_noise=fixed)
+        diffusion2 = GaussianDiffusion(quadratic_schedule(10), rng=np.random.default_rng(1))
+        second = diffusion2.sample(x0.shape, self._oracle(diffusion2, x0), num_samples=1,
+                                   initial_noise=fixed)
+        assert np.allclose(first, second, atol=1e-6)
+
+    def test_invalid_schedule_type_rejected(self):
+        with pytest.raises(TypeError):
+            GaussianDiffusion(3.14)

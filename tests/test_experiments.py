@@ -1,0 +1,124 @@
+"""Tests for the experiment harness: profiles, factories and runners.
+
+Runner tests use a hand-built micro profile so that the full train/evaluate
+cycle stays fast; they verify the plumbing (rows, columns, finite values), not
+the quality of the numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PriSTI
+from repro.baselines import Imputer
+from repro.experiments import (
+    FAST,
+    FULL,
+    Profile,
+    build_dataset,
+    build_method,
+    build_pristi_config,
+    get_profile,
+    run_ablation_study,
+    run_downstream_forecasting,
+    run_imputation_benchmark,
+    run_missing_rate_sweep,
+    run_sensor_failure,
+    run_time_costs,
+)
+from repro.metrics import ResultTable
+
+MICRO = Profile(
+    name="micro",
+    aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+    traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+    window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+    diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+    deep_epochs=1, deep_iterations=2, batch_size=4,
+    num_samples=2, forecast_epochs=1, forecast_iterations=2,
+)
+
+
+class TestProfilesAndFactories:
+    def test_get_profile_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "fast"
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert get_profile().name == "full"
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+        with pytest.raises(ValueError):
+            get_profile("bogus")
+
+    def test_full_profile_is_larger(self):
+        assert FULL.traffic_nodes > FAST.traffic_nodes
+        assert FULL.diffusion_epochs > FAST.diffusion_epochs
+
+    def test_build_dataset_names(self):
+        for name in ("aqi36", "metr-la", "pems-bay"):
+            dataset = build_dataset(name, "point", MICRO)
+            assert dataset.num_nodes == 6
+        with pytest.raises(ValueError):
+            build_dataset("mnist", "point", MICRO)
+
+    def test_build_pristi_config_respects_profile(self):
+        config = build_pristi_config(MICRO, "metr-la", "block")
+        assert config.channels == MICRO.channels
+        assert config.window_length == MICRO.window_length
+        assert config.mask_strategy == "hybrid"
+        point_config = build_pristi_config(MICRO, "metr-la", "point")
+        assert point_config.mask_strategy == "point"
+        aqi_config = build_pristi_config(MICRO, "aqi36", "failure")
+        assert aqi_config.mask_strategy == "hybrid-historical"
+
+    def test_build_method_types(self):
+        assert isinstance(build_method("PriSTI", MICRO), PriSTI)
+        assert isinstance(build_method("Mean", MICRO), Imputer)
+        assert isinstance(build_method("BRITS", MICRO), Imputer)
+        with pytest.raises(ValueError):
+            build_method("AlphaFold", MICRO)
+
+
+class TestRunners:
+    def test_imputation_benchmark_structure(self):
+        table = run_imputation_benchmark(
+            methods=("Mean", "Lin-ITP"),
+            grid=(("metr-la", "point"),),
+            profile=MICRO,
+        )
+        assert isinstance(table, ResultTable)
+        assert set(table.rows()) == {"Mean", "Lin-ITP"}
+        assert "metr-la/point/MAE" in table.columns()
+        assert table.best_row("metr-la/point/MAE") == "Lin-ITP"
+
+    def test_ablation_study_structure(self):
+        table = run_ablation_study(
+            variants=("PriSTI", "w/o spa"),
+            grid=(("metr-la", "point"),),
+            profile=MICRO,
+        )
+        assert set(table.rows()) == {"PriSTI", "w/o spa"}
+
+    def test_missing_rate_sweep_structure(self):
+        table = run_missing_rate_sweep(
+            methods=("Lin-ITP", "PriSTI"), rates=(0.3, 0.7), pattern="point", profile=MICRO,
+        )
+        assert set(table.rows()) == {"Lin-ITP", "PriSTI"}
+        assert set(table.columns()) == {"30%", "70%"}
+
+    def test_sensor_failure_structure(self):
+        table = run_sensor_failure(methods=("KNN", "PriSTI"), profile=MICRO)
+        assert set(table.rows()) == {"KNN", "PriSTI"}
+        assert set(table.columns()) == {"highest-connectivity", "lowest-connectivity"}
+
+    def test_time_costs_structure(self):
+        table = run_time_costs(methods=("Mean", "BRITS"), datasets=(("metr-la", "point"),),
+                               profile=MICRO)
+        assert "metr-la/train-s" in table.columns()
+        values = [table.cell(row, "metr-la/train-s")[0] for row in table.rows()]
+        assert all(v >= 0 for v in values)
+
+    def test_downstream_forecasting_structure(self):
+        table = run_downstream_forecasting(methods=("Lin-ITP",), profile=MICRO)
+        assert "Ori." in table.rows()
+        assert "Lin-ITP" in table.rows()
+        assert {"MAE", "RMSE"} <= set(table.columns())

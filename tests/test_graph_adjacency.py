@@ -1,0 +1,107 @@
+"""Tests for adjacency construction and sensor-network generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    SensorNetwork,
+    city_station_network,
+    forward_backward_transitions,
+    gaussian_kernel_adjacency,
+    highway_corridor_network,
+    node_connectivity,
+    pairwise_distances,
+    row_normalize,
+    symmetric_normalize,
+    thresholded_gaussian_adjacency,
+)
+
+
+class TestDistancesAndKernels:
+    def test_pairwise_distances_symmetric_zero_diag(self, rng):
+        coordinates = rng.random((8, 2))
+        distances = pairwise_distances(coordinates)
+        assert distances.shape == (8, 8)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_pairwise_distances_known_values(self):
+        distances = pairwise_distances([[0.0, 0.0], [3.0, 4.0]])
+        assert distances[0, 1] == pytest.approx(5.0)
+
+    def test_pairwise_distances_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pairwise_distances([1.0, 2.0])
+
+    def test_gaussian_kernel_properties(self, rng):
+        distances = pairwise_distances(rng.random((6, 2)))
+        weights = gaussian_kernel_adjacency(distances)
+        assert np.all(weights >= 0) and np.all(weights <= 1)
+        assert np.allclose(np.diag(weights), 0.0)
+
+    def test_threshold_sparsifies(self, rng):
+        distances = pairwise_distances(rng.random((10, 2)) * 5)
+        dense = gaussian_kernel_adjacency(distances)
+        sparse = thresholded_gaussian_adjacency(distances, threshold=0.5)
+        assert (sparse > 0).sum() <= (dense > 0).sum()
+        assert np.all(sparse[(sparse > 0)] >= 0.5)
+
+    def test_closer_nodes_get_larger_weights(self):
+        coordinates = [[0, 0], [0.1, 0], [5, 5]]
+        weights = gaussian_kernel_adjacency(pairwise_distances(coordinates))
+        assert weights[0, 1] > weights[0, 2]
+
+
+class TestNormalisations:
+    def test_row_normalize_stochastic(self, rng):
+        adjacency = rng.random((5, 5))
+        transition = row_normalize(adjacency)
+        assert np.allclose(transition.sum(axis=1), 1.0)
+
+    def test_symmetric_normalize_eigenvalue_bound(self, rng):
+        adjacency = rng.random((6, 6))
+        adjacency = (adjacency + adjacency.T) / 2
+        normalised = symmetric_normalize(adjacency)
+        eigenvalues = np.linalg.eigvalsh(normalised)
+        assert np.max(np.abs(eigenvalues)) <= 1.0 + 1e-8
+
+    def test_forward_backward_transitions(self, rng):
+        adjacency = rng.random((4, 4))
+        forward, backward = forward_backward_transitions(adjacency)
+        assert np.allclose(forward.sum(axis=1), 1.0)
+        assert np.allclose(backward.sum(axis=1), 1.0)
+
+    def test_node_connectivity_ordering(self):
+        adjacency = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        connectivity = node_connectivity(adjacency)
+        assert np.argmax(connectivity) == 0
+
+
+class TestNetworks:
+    def test_highway_network_size_and_adjacency(self):
+        network = highway_corridor_network(15, rng=np.random.default_rng(0))
+        assert network.num_nodes == 15
+        assert network.adjacency.shape == (15, 15)
+        assert np.allclose(network.adjacency, network.adjacency.T)
+
+    def test_city_network_size(self):
+        network = city_station_network(9, rng=np.random.default_rng(0))
+        assert network.num_nodes == 9
+        assert network.coordinates.shape == (9, 2)
+
+    def test_network_rejects_mismatched_adjacency(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(np.zeros((3, 2)), np.zeros((4, 4)))
+
+    def test_to_networkx_graph(self):
+        network = highway_corridor_network(8, rng=np.random.default_rng(1))
+        graph = network.to_networkx()
+        assert isinstance(graph, nx.Graph)
+        assert graph.number_of_nodes() == 8
+        expected_edges = int((network.adjacency > 0).sum() / 2)
+        assert graph.number_of_edges() == expected_edges
+
+    def test_networks_have_some_edges(self):
+        network = highway_corridor_network(12, rng=np.random.default_rng(2))
+        assert (network.adjacency > 0).sum() > 0

@@ -1,0 +1,136 @@
+"""Tests for deterministic metrics, CRPS and the result table."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ResultTable,
+    crps_from_samples,
+    empirical_quantiles,
+    interval_coverage,
+    masked_mae,
+    masked_mre,
+    masked_mse,
+    masked_rmse,
+    quantile_loss,
+)
+
+
+class TestDeterministicMetrics:
+    def test_known_values(self):
+        prediction = np.array([[1.0, 2.0], [3.0, 5.0]])
+        target = np.array([[1.0, 1.0], [3.0, 1.0]])
+        assert masked_mae(prediction, target) == pytest.approx(1.25)
+        assert masked_mse(prediction, target) == pytest.approx((0 + 1 + 0 + 16) / 4)
+        assert masked_rmse(prediction, target) == pytest.approx(np.sqrt(17 / 4))
+
+    def test_mask_restricts_evaluation(self):
+        prediction = np.array([[0.0, 100.0]])
+        target = np.array([[0.0, 0.0]])
+        mask = np.array([[True, False]])
+        assert masked_mae(prediction, target, mask) == 0.0
+
+    def test_mre(self):
+        prediction = np.array([2.0, 4.0])
+        target = np.array([1.0, 5.0])
+        assert masked_mre(prediction, target) == pytest.approx(2.0 / 6.0)
+
+    def test_perfect_prediction_zero_error(self, rng):
+        values = rng.standard_normal((10, 10))
+        assert masked_mae(values, values) == 0.0
+        assert masked_mse(values, values) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_mae(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            masked_mae(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+
+class TestCRPS:
+    def test_quantile_loss_signs(self):
+        # Over-prediction penalised by (1 - alpha), under-prediction by alpha.
+        assert quantile_loss(np.array([2.0]), np.array([1.0]), 0.05) > 0
+        assert quantile_loss(np.array([0.0]), np.array([1.0]), 0.05) > 0
+
+    def test_crps_zero_for_degenerate_perfect_samples(self, rng):
+        target = rng.standard_normal((5, 4)) + 10.0
+        samples = np.repeat(target[None], 30, axis=0)
+        assert crps_from_samples(samples, target) == pytest.approx(0.0, abs=1e-12)
+
+    def test_crps_decreases_with_sharper_correct_distribution(self, rng):
+        target = np.full((6, 6), 10.0)
+        wide = 10.0 + rng.standard_normal((200, 6, 6)) * 5.0
+        narrow = 10.0 + rng.standard_normal((200, 6, 6)) * 0.5
+        assert crps_from_samples(narrow, target) < crps_from_samples(wide, target)
+
+    def test_crps_penalises_bias(self, rng):
+        target = np.full((6, 6), 10.0)
+        unbiased = 10.0 + rng.standard_normal((200, 6, 6))
+        biased = 15.0 + rng.standard_normal((200, 6, 6))
+        assert crps_from_samples(unbiased, target) < crps_from_samples(biased, target)
+
+    def test_crps_respects_mask(self, rng):
+        target = np.zeros((4, 4))
+        samples = rng.standard_normal((50, 4, 4))
+        samples[:, 0, 0] += 100.0
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, 0] = False
+        assert crps_from_samples(samples, target, mask) < crps_from_samples(samples, target)
+
+    def test_crps_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            crps_from_samples(rng.standard_normal((10, 3, 3)), rng.standard_normal((4, 4)))
+
+    def test_empirical_quantiles_monotone(self, rng):
+        samples = rng.standard_normal((100, 5))
+        quantiles = empirical_quantiles(samples, [0.1, 0.5, 0.9])
+        assert np.all(quantiles[0] <= quantiles[1])
+        assert np.all(quantiles[1] <= quantiles[2])
+
+    def test_interval_coverage_calibrated_gaussian(self, rng):
+        target = rng.standard_normal((20, 20))
+        samples = target[None] + rng.standard_normal((300, 20, 20))
+        coverage = interval_coverage(samples, target, lower=0.05, upper=0.95)
+        assert 0.8 < coverage <= 1.0
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable(title="demo")
+        table.add("A", "metric", 1.0)
+        table.add("B", "metric", 2.0)
+        text = table.render()
+        assert "demo" in text and "A" in text and "metric" in text
+
+    def test_mean_std_aggregation(self):
+        table = ResultTable()
+        table.add("A", "m", 1.0)
+        table.add("A", "m", 3.0)
+        mean, std, count = table.cell("A", "m")
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        assert count == 2
+
+    def test_best_row(self):
+        table = ResultTable()
+        table.add("A", "mae", 2.0)
+        table.add("B", "mae", 1.0)
+        assert table.best_row("mae", mode="min") == "B"
+        assert table.best_row("mae", mode="max") == "A"
+
+    def test_as_dict_and_missing_cells(self):
+        table = ResultTable()
+        table.add("A", "x", 1.0)
+        table.add("B", "y", 2.0)
+        data = table.as_dict()
+        assert data["A"]["x"] == 1.0
+        assert "y" not in data["A"]
+        assert "-" in table.render()
+
+    def test_empty_cell_returns_none(self):
+        table = ResultTable()
+        table.add("A", "x", 1.0)
+        assert table.cell("A", "missing") is None

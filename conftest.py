@@ -1,0 +1,36 @@
+"""Repo-wide pytest configuration.
+
+Registers the ``slow`` marker and its opt-in switch so tier-1
+(``PYTHONPATH=src python -m pytest -x -q``) stays fast: tests marked
+``@pytest.mark.slow`` are skipped unless ``--run-slow`` is passed or the
+``REPRO_RUN_SLOW`` environment variable is set (any non-empty value).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test, skipped unless --run-slow or REPRO_RUN_SLOW=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow") or os.environ.get("REPRO_RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow test: pass --run-slow (or set REPRO_RUN_SLOW=1) to run"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

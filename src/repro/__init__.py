@@ -24,6 +24,7 @@ from .core import (
     ImputationResult,
     linear_interpolation,
 )
+from .inference import InferenceEngine
 
 __version__ = "1.0.0"
 
@@ -32,6 +33,7 @@ __all__ = [
     "PriSTIConfig",
     "PriSTINetwork",
     "ImputationResult",
+    "InferenceEngine",
     "linear_interpolation",
     "__version__",
 ]

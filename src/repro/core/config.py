@@ -67,6 +67,14 @@ class PriSTIConfig:
     # Inference
     num_samples: int = 100
     ddim_steps: int | None = None
+    #: Maximum number of ``(window, sample)`` items packed into one network
+    #: call by the batched inference engine.  ``None`` batches one window's
+    #: ``num_samples`` per call; larger values let chunks span window
+    #: boundaries.  Peak memory for ancestral sampling scales with
+    #: ``inference_batch_size * num_diffusion_steps * nodes * window_length``
+    #: (the pre-drawn per-step noise buffer), so lower this when raising the
+    #: step count.  See :mod:`repro.inference.engine`.
+    inference_batch_size: int | None = None
 
     # Ablation switches (Table VI variants)
     use_interpolation: bool = True           # mix-STI sets this to False
@@ -87,6 +95,8 @@ class PriSTIConfig:
             raise ValueError("noise levels must satisfy 0 < beta_min < beta_max < 1")
         if self.parameterization not in ("epsilon", "x0_residual"):
             raise ValueError("parameterization must be 'epsilon' or 'x0_residual'")
+        if self.inference_batch_size is not None and self.inference_batch_size < 1:
+            raise ValueError("inference_batch_size must be a positive integer (or None)")
 
     # ------------------------------------------------------------------
     # Presets

@@ -23,6 +23,7 @@ from ..data.masks import MaskStrategy
 from ..data.scalers import StandardScaler
 from ..data.windows import WindowSampler
 from ..diffusion import GaussianDiffusion, make_schedule
+from ..inference import InferenceEngine
 from ..metrics import crps_from_samples, masked_mae, masked_mse, masked_rmse
 from ..nn import Adam, MilestoneLR, clip_grad_norm
 from ..tensor import Tensor, masked_mse_loss, no_grad
@@ -205,44 +206,38 @@ class ConditionalDiffusionImputer:
     # ------------------------------------------------------------------
     # Imputation (Algorithm 2)
     # ------------------------------------------------------------------
-    def impute(self, dataset, segment="test", num_samples=None, stride=None):
+    def impute(self, dataset, segment="test", num_samples=None, stride=None, batched=True):
         """Impute all missing values of a dataset split.
 
         Returns an :class:`ImputationResult`; every missing entry (both the
         artificially removed evaluation targets and the originally missing
         data) is imputed, observed entries are passed through.
+
+        Sampling runs through the shared :class:`~repro.inference.InferenceEngine`,
+        which packs ``(window, sample)`` pairs into chunks of
+        ``config.inference_batch_size`` and calls the network once per
+        diffusion step per chunk.  ``batched=False`` selects the serial
+        per-window, per-sample reference path (identical output under a
+        shared RNG seed, but far slower).
         """
         if self.network is None:
             raise RuntimeError("impute() called before fit()")
         num_samples = num_samples or self.config.num_samples
         values, observed_mask, eval_mask = dataset.segment(segment)
         input_mask = observed_mask & ~eval_mask
-        length = values.shape[0]
         window = self.config.window_length
-        if length < window:
-            raise ValueError(f"segment of length {length} is shorter than the window {window}")
         stride = stride or window
-
-        starts = list(range(0, length - window + 1, stride))
-        if starts[-1] != length - window:
-            starts.append(length - window)
-
-        sums = np.zeros((num_samples, length, self.num_nodes))
-        counts = np.zeros((length, self.num_nodes))
+        engine = self.inference_engine()
 
         self.network.eval()
         inference_start = time.perf_counter()
-        for start in starts:
-            stop = start + window
-            window_values = self.scaler.transform(values[start:stop]).T[None]   # (1, N, L)
-            window_mask = input_mask[start:stop].T[None]
-            window_samples = self._sample_window(window_values, window_mask, num_samples)
-            sums[:, start:stop, :] += window_samples.transpose(0, 2, 1)
-            counts[start:stop, :] += 1.0
+        samples_scaled = engine.impute_segment(
+            self.scaler.transform(values), input_mask,
+            window_length=window, stride=stride, num_samples=num_samples,
+            build_condition=self.build_condition, batched=batched,
+        )
         self.inference_seconds = time.perf_counter() - inference_start
 
-        counts = np.maximum(counts, 1.0)
-        samples_scaled = sums / counts[None]
         samples = self.scaler.inverse_transform(samples_scaled)
         # Observed entries are not imputed: pass the ground truth through.
         samples = np.where(input_mask[None], values[None], samples)
@@ -257,38 +252,39 @@ class ConditionalDiffusionImputer:
             eval_mask=eval_mask,
         )
 
-    def _sample_window(self, values, mask, num_samples):
-        """Reverse-diffusion sampling for one window.
+    def inference_engine(self):
+        """The batched reverse-diffusion engine configured for this model."""
+        if self.network is None:
+            raise RuntimeError("inference_engine() called before fit()")
+        return InferenceEngine(
+            self.diffusion,
+            self._predict_raw,
+            parameterization=self.config.parameterization,
+            inference_batch_size=self.config.inference_batch_size,
+            ddim_steps=self.config.ddim_steps,
+        )
 
-        ``values`` / ``mask`` are ``(1, N, L)``; returns ``(S, N, L)``.
+    def _predict_raw(self, noisy_target, condition, steps, conditional_mask, cache=None):
+        """Gradient-free network forward used by the inference engine.
+
+        ``cache`` is the engine's per-chunk scratch dict: the step-independent
+        conditioning tensors (auxiliary encodings and the prior ``H^pri``) are
+        computed on the first diffusion step of a chunk and reused for the
+        rest.  ``None`` (the serial reference path) recomputes them per call.
         """
-        conditional_mask = mask.astype(np.float64)
-        condition = self.build_condition(values * conditional_mask, conditional_mask)
-        target_mask = 1.0 - conditional_mask
-        schedule = self.diffusion.schedule
-
-        def noise_fn(x_t, step):
-            with no_grad():
-                prediction = self.network(
-                    x_t * target_mask, condition, np.array([step]),
-                    conditional_mask=conditional_mask,
-                ).data
-            if self.config.parameterization == "epsilon":
-                return prediction
-            # Convert the predicted clean target back to the implied noise.
-            x0_estimate = condition + prediction
-            sqrt_ab = schedule.sqrt_alpha_bar(step)
-            sqrt_1mab = max(schedule.sqrt_one_minus_alpha_bar(step), 1e-6)
-            return (x_t - sqrt_ab * x0_estimate) / sqrt_1mab
-
-        if self.config.ddim_steps:
-            samples = self.diffusion.sample_ddim(
-                values.shape, noise_fn, num_samples=num_samples,
-                num_inference_steps=self.config.ddim_steps,
-            )
-        else:
-            samples = self.diffusion.sample(values.shape, noise_fn, num_samples=num_samples)
-        return samples[:, 0]
+        with no_grad():
+            conditioning = None
+            if cache is not None:
+                conditioning = cache.get("conditioning")
+                if conditioning is None:
+                    conditioning = self.network.prepare_conditioning(
+                        condition, noisy_target.shape[0]
+                    )
+                    cache["conditioning"] = conditioning
+            return self.network(
+                noisy_target, condition, steps, conditional_mask=conditional_mask,
+                conditioning=conditioning,
+            ).data
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -101,7 +101,29 @@ class PriSTINetwork(Module):
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
-    def forward(self, noisy_target, condition, steps, conditional_mask=None):
+    def prepare_conditioning(self, condition, batch_size):
+        """Precompute the step-independent conditioning tensors.
+
+        The auxiliary encodings and the conditional-feature prior ``H^pri``
+        depend only on the condition and the batch size — not on the noisy
+        target ``x_t`` or the diffusion step — so during reverse-diffusion
+        sampling they can be computed once per window batch and reused for
+        every diffusion step.  Returns a dict accepted by :meth:`forward`'s
+        ``conditioning`` parameter; it is only valid while ``condition`` and
+        the batch size stay unchanged.
+        """
+        condition = condition if isinstance(condition, Tensor) else Tensor(condition)
+        condition_channel = condition.expand_dims(-1)             # (B, N, L, 1)
+        auxiliary = self.auxiliary(batch_size)
+        if self.conditional_feature is not None:
+            prior_hidden = self.condition_projection(condition_channel).relu()
+            prior = self.conditional_feature(prior_hidden + auxiliary)
+        else:
+            prior = None
+        return {"auxiliary": auxiliary, "prior": prior}
+
+    def forward(self, noisy_target, condition, steps, conditional_mask=None,
+                conditioning=None):
         """Predict the network output (noise or clean-target residual).
 
         Parameters
@@ -118,6 +140,10 @@ class PriSTINetwork(Module):
             ``(batch, node, time)`` binary mask, 1 where the conditional
             information is genuinely observed (the "Mask" input of Fig. 2).
             Defaults to all ones.
+        conditioning:
+            Optional precomputed output of :meth:`prepare_conditioning` for
+            this ``condition`` / batch size; skips recomputing the auxiliary
+            encodings and the prior ``H^pri`` on every diffusion step.
 
         Returns
         -------
@@ -135,17 +161,14 @@ class PriSTINetwork(Module):
         condition_channel = condition.expand_dims(-1)             # (B, N, L, 1)
         mask_channel = mask_tensor.expand_dims(-1)                # (B, N, L, 1)
 
-        auxiliary = self.auxiliary(batch_size)
+        if conditioning is None:
+            conditioning = self.prepare_conditioning(condition, batch_size)
+        auxiliary = conditioning["auxiliary"]
+        prior = conditioning["prior"]
 
         hidden_in = self.input_projection(
             cat([condition_channel, noisy_channel, mask_channel], axis=-1)
         ).relu()
-
-        if self.conditional_feature is not None:
-            prior_hidden = self.condition_projection(condition_channel).relu()
-            prior = self.conditional_feature(prior_hidden + auxiliary)
-        else:
-            prior = None
 
         step_embedding = self.diffusion_embedding(steps)
 

@@ -91,7 +91,34 @@ class GaussianDiffusion:
         sigma = np.sqrt(self.schedule.posterior_variance(step))
         return mean + sigma * noise
 
-    def sample(self, shape, noise_fn, num_samples=1, initial_noise=None):
+    def _prepare_noise(self, num_samples, shape, draws_per_sample, initial_noise):
+        """Pre-draw the starting and per-step noise in the serial RNG order.
+
+        The serial samplers consume the generator sample-major (all of sample
+        0's draws before sample 1's).  Pre-drawing in that exact order is what
+        keeps the batched samplers bit-compatible with the serial loops under
+        a shared seed.
+
+        The price of that compatibility is memory: the step noise is a
+        ``(num_samples, draws_per_sample) + shape`` float64 buffer, i.e. the
+        batched ancestral sampler holds all ``num_steps - 1`` step draws at
+        once (deterministic DDIM draws none).  Callers bound the peak through
+        the batch size they pass as ``num_samples`` — see
+        ``inference_batch_size`` in :mod:`repro.inference.engine`.
+        """
+        shape = tuple(shape)
+        start = np.empty((num_samples,) + shape, dtype=np.float64)
+        step_noise = np.empty((num_samples, draws_per_sample) + shape, dtype=np.float64)
+        for sample_index in range(num_samples):
+            if initial_noise is None:
+                start[sample_index] = self.rng.standard_normal(shape)
+            else:
+                start[sample_index] = np.asarray(initial_noise[sample_index], dtype=np.float64)
+            for draw in range(draws_per_sample):
+                step_noise[sample_index, draw] = self.rng.standard_normal(shape)
+        return start, step_noise
+
+    def sample(self, shape, noise_fn, num_samples=1, initial_noise=None, batched=True):
         """Full reverse process from Gaussian noise (Algorithm 2).
 
         Parameters
@@ -100,16 +127,42 @@ class GaussianDiffusion:
             Shape of one sample, e.g. ``(batch, node, time)``.
         noise_fn:
             Callable ``(x_t, step) -> predicted_noise`` (step is an int).
+            With ``batched=True`` it receives all samples at once —
+            ``x_t`` has shape ``(num_samples,) + shape`` — so the network
+            behind it runs one forward pass per diffusion step instead of one
+            per (sample, step) pair.  With ``batched=False`` it receives one
+            sample of shape ``shape`` at a time (the serial reference path).
         num_samples:
             Number of independent samples to draw (used for the probabilistic
             evaluation with CRPS).
         initial_noise:
             Optional fixed starting noise of shape ``(num_samples,) + shape``.
+        batched:
+            Vectorise the sample axis (default).  Both paths consume the RNG
+            in the same order, so they produce identical outputs under a
+            shared seed whenever ``noise_fn`` treats samples independently.
 
         Returns
         -------
         ndarray of shape ``(num_samples,) + shape``.
         """
+        if not batched:
+            return self._sample_serial(shape, noise_fn, num_samples, initial_noise)
+        x_t, step_noise = self._prepare_noise(
+            num_samples, shape, max(self.num_steps - 1, 0), initial_noise
+        )
+        for position, step in enumerate(range(self.num_steps - 1, -1, -1)):
+            predicted = np.asarray(noise_fn(x_t, step))
+            mean = self.p_mean(x_t, predicted, step)
+            if step == 0:
+                x_t = mean
+            else:
+                sigma = np.sqrt(self.schedule.posterior_variance(step))
+                x_t = mean + sigma * step_noise[:, position]
+        return x_t
+
+    def _sample_serial(self, shape, noise_fn, num_samples, initial_noise):
+        """One-sample-at-a-time ancestral sampling (reference path)."""
         samples = []
         for sample_index in range(num_samples):
             if initial_noise is not None:
@@ -122,34 +175,78 @@ class GaussianDiffusion:
             samples.append(x_t)
         return np.stack(samples)
 
-    def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None, eta=0.0):
-        """Strided deterministic (DDIM) sampling for faster inference.
+    # ------------------------------------------------------------------
+    # DDIM
+    # ------------------------------------------------------------------
+    def ddim_step_sequence(self, num_inference_steps=None):
+        """Decreasing step subset used by :meth:`sample_ddim`."""
+        if num_inference_steps is None or num_inference_steps >= self.num_steps:
+            return list(range(self.num_steps - 1, -1, -1))
+        return list(
+            np.unique(np.linspace(0, self.num_steps - 1, num_inference_steps, dtype=int))
+        )[::-1]
+
+    def _ddim_coefficients(self, step, prev_step, eta):
+        """``(alpha_bar, alpha_bar_prev, sigma)`` for one DDIM update.
+
+        ``1 - alpha_bar`` can underflow to ~0 at step 0 for gentle schedules,
+        so the sigma ratio guards the denominator; the final step (no
+        predecessor) is always deterministic.
+        """
+        alpha_bars = self.schedule.alpha_bars
+        alpha_bar = alpha_bars[step]
+        alpha_bar_prev = alpha_bars[prev_step] if prev_step >= 0 else 1.0
+        if prev_step >= 0 and eta > 0:
+            ratio = (1.0 - alpha_bar_prev) / max(1.0 - alpha_bar, 1e-12)
+            sigma = eta * np.sqrt(max(ratio * (1.0 - alpha_bar / alpha_bar_prev), 0.0))
+        else:
+            sigma = 0.0
+        return alpha_bar, alpha_bar_prev, sigma
+
+    def _ddim_update(self, x_t, predicted, step, prev_step, eta):
+        """Deterministic part of one DDIM step; returns ``(x_prev, sigma)``."""
+        alpha_bar, alpha_bar_prev, sigma = self._ddim_coefficients(step, prev_step, eta)
+        x0_estimate = (x_t - np.sqrt(1 - alpha_bar) * predicted) / max(np.sqrt(alpha_bar), 1e-12)
+        direction = np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0)) * predicted
+        return np.sqrt(alpha_bar_prev) * x0_estimate + direction, sigma
+
+    def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None,
+                    eta=0.0, initial_noise=None, batched=True):
+        """Strided (DDIM) sampling for faster inference.
 
         ``num_inference_steps`` selects an evenly spaced subset of the
         training steps; ``eta=0`` gives a fully deterministic trajectory.
+        With ``batched=True`` the sample axis is vectorised exactly as in
+        :meth:`sample` — one ``noise_fn`` call per step for all samples, with
+        the ``eta > 0`` stochastic noise drawn *per sample* (never shared
+        across the batch axis) in the serial loop's RNG order.
         """
-        if num_inference_steps is None or num_inference_steps >= self.num_steps:
-            step_sequence = list(range(self.num_steps - 1, -1, -1))
-        else:
-            step_sequence = list(
-                np.unique(np.linspace(0, self.num_steps - 1, num_inference_steps, dtype=int))
-            )[::-1]
+        step_sequence = self.ddim_step_sequence(num_inference_steps)
+        if not batched:
+            return self._sample_ddim_serial(shape, noise_fn, num_samples, step_sequence,
+                                            eta, initial_noise)
+        draws_per_sample = len(step_sequence) - 1 if eta > 0 else 0
+        x_t, step_noise = self._prepare_noise(num_samples, shape, draws_per_sample, initial_noise)
+        for position, step in enumerate(step_sequence):
+            predicted = np.asarray(noise_fn(x_t, step))
+            prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
+            x_t, sigma = self._ddim_update(x_t, predicted, step, prev_step, eta)
+            if sigma > 0:
+                x_t = x_t + sigma * step_noise[:, position]
+        return x_t
 
+    def _sample_ddim_serial(self, shape, noise_fn, num_samples, step_sequence, eta, initial_noise):
+        """One-sample-at-a-time DDIM sampling (reference path)."""
         samples = []
-        alpha_bars = self.schedule.alpha_bars
-        for _ in range(num_samples):
-            x_t = self.rng.standard_normal(shape)
+        for sample_index in range(num_samples):
+            if initial_noise is not None:
+                x_t = np.array(initial_noise[sample_index], dtype=np.float64)
+            else:
+                x_t = self.rng.standard_normal(shape)
             for position, step in enumerate(step_sequence):
                 predicted = noise_fn(x_t, step)
-                alpha_bar = alpha_bars[step]
                 prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
-                alpha_bar_prev = alpha_bars[prev_step] if prev_step >= 0 else 1.0
-                x0_estimate = (x_t - np.sqrt(1 - alpha_bar) * predicted) / np.sqrt(alpha_bar)
-                sigma = eta * np.sqrt(
-                    (1 - alpha_bar_prev) / (1 - alpha_bar) * (1 - alpha_bar / alpha_bar_prev)
-                ) if prev_step >= 0 else 0.0
-                direction = np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0)) * predicted
-                x_t = np.sqrt(alpha_bar_prev) * x0_estimate + direction
+                x_t, sigma = self._ddim_update(x_t, predicted, step, prev_step, eta)
                 if sigma > 0:
                     x_t = x_t + sigma * self.rng.standard_normal(shape)
             samples.append(x_t)

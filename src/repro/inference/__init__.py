@@ -1,0 +1,12 @@
+"""Batched reverse-diffusion inference shared by the diffusion imputers.
+
+:class:`InferenceEngine` owns the chunking of ``(window, sample)`` work items,
+the per-window condition cache and the strided-window overlap averaging used
+by :meth:`repro.core.imputer.ConditionalDiffusionImputer.impute`.  See
+:mod:`repro.inference.engine` for the batching contract and the serial
+fallback path.
+"""
+
+from .engine import InferenceEngine
+
+__all__ = ["InferenceEngine"]

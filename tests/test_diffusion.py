@@ -129,3 +129,116 @@ class TestReverseProcess:
     def test_invalid_schedule_type_rejected(self):
         with pytest.raises(TypeError):
             GaussianDiffusion(3.14)
+
+
+class TestBatchedSamplers:
+    """The vectorised sample axis must reproduce the serial loops exactly."""
+
+    def _oracle(self, diffusion, x0):
+        def noise_fn(x_t, step):
+            alpha_bar = diffusion.schedule.alpha_bars[step]
+            return (x_t - np.sqrt(alpha_bar) * x0) / np.sqrt(1 - alpha_bar)
+        return noise_fn
+
+    def _pair(self, num_steps=12, seed=42):
+        return (GaussianDiffusion(quadratic_schedule(num_steps), rng=np.random.default_rng(seed)),
+                GaussianDiffusion(quadratic_schedule(num_steps), rng=np.random.default_rng(seed)))
+
+    def test_sample_batched_matches_serial_with_shared_initial_noise(self, rng):
+        serial_diff, batched_diff = self._pair()
+        x0 = rng.standard_normal((1, 3, 5))
+        initial = rng.standard_normal((4,) + x0.shape)
+        serial = serial_diff.sample(x0.shape, self._oracle(serial_diff, x0),
+                                    num_samples=4, initial_noise=initial, batched=False)
+        batched = batched_diff.sample(x0.shape, self._oracle(batched_diff, x0),
+                                      num_samples=4, initial_noise=initial, batched=True)
+        assert serial.shape == batched.shape == (4, 1, 3, 5)
+        np.testing.assert_allclose(batched, serial, atol=1e-10, rtol=0)
+
+    def test_sample_batched_matches_serial_seeded(self, rng):
+        """Without fixed initial noise both paths must consume the RNG alike."""
+        serial_diff, batched_diff = self._pair(seed=7)
+        x0 = rng.standard_normal((2, 4))
+        serial = serial_diff.sample(x0.shape, self._oracle(serial_diff, x0),
+                                    num_samples=3, batched=False)
+        batched = batched_diff.sample(x0.shape, self._oracle(batched_diff, x0),
+                                      num_samples=3, batched=True)
+        np.testing.assert_allclose(batched, serial, atol=1e-10, rtol=0)
+
+    @pytest.mark.parametrize("eta", [0.0, 0.7])
+    def test_ddim_batched_matches_serial(self, rng, eta):
+        serial_diff, batched_diff = self._pair(num_steps=20, seed=11)
+        x0 = rng.standard_normal((1, 3, 6))
+        initial = rng.standard_normal((3,) + x0.shape)
+        serial = serial_diff.sample_ddim(x0.shape, self._oracle(serial_diff, x0),
+                                         num_samples=3, num_inference_steps=8,
+                                         eta=eta, initial_noise=initial, batched=False)
+        batched = batched_diff.sample_ddim(x0.shape, self._oracle(batched_diff, x0),
+                                           num_samples=3, num_inference_steps=8,
+                                           eta=eta, initial_noise=initial, batched=True)
+        np.testing.assert_allclose(batched, serial, atol=1e-10, rtol=0)
+
+    def test_ddim_eta_noise_is_per_sample(self, rng):
+        """Stochastic DDIM noise must differ across the batched sample axis.
+
+        With identical starting noise and a deterministic predictor whose
+        output depends on ``x_t`` (zero-noise prediction: the x0 estimate is
+        ``x_t / sqrt(alpha_bar)``), all trajectories coincide unless each
+        sample draws its own step noise — a shared ``shape``-sized draw would
+        keep them identical.
+        """
+        diffusion = GaussianDiffusion(quadratic_schedule(15), rng=np.random.default_rng(3))
+        shared_start = np.broadcast_to(rng.standard_normal((1, 2, 4)), (5, 2, 4))
+        samples = diffusion.sample_ddim((2, 4), lambda x_t, step: np.zeros_like(x_t),
+                                        num_samples=5, num_inference_steps=6,
+                                        eta=0.9, initial_noise=shared_start, batched=True)
+        pairwise_gap = np.abs(samples[None] - samples[:, None]).max(axis=(-1, -2))
+        assert pairwise_gap[np.triu_indices(5, k=1)].min() > 0
+
+    def test_ddim_step_zero_edge_cases(self, rng):
+        """Step-0 updates: no predecessor, alpha_bar ≈ 1 division guards."""
+        # A near-flat schedule drives 1 - alpha_bar toward 0 at step 0; the
+        # guarded sigma/x0 divisions must stay finite for stochastic DDIM.
+        schedule = quadratic_schedule(10, beta_min=1e-10, beta_max=0.05)
+        x0 = rng.standard_normal((2, 3))
+        for num_inference_steps, eta in ((1, 0.0), (1, 0.9), (2, 0.9), (None, 0.9)):
+            for batched in (True, False):
+                diffusion = GaussianDiffusion(schedule, rng=np.random.default_rng(0))
+                samples = diffusion.sample_ddim(
+                    x0.shape, self._oracle(diffusion, x0), num_samples=2,
+                    num_inference_steps=num_inference_steps, eta=eta, batched=batched,
+                )
+                assert samples.shape == (2, 2, 3)
+                assert np.all(np.isfinite(samples))
+
+    def test_ddim_single_training_step_schedule(self, rng):
+        """num_steps=1: the only step is 0 and must be deterministic."""
+        diffusion = GaussianDiffusion(quadratic_schedule(1), rng=np.random.default_rng(0))
+        initial = rng.standard_normal((2, 1, 4))
+        samples = diffusion.sample_ddim((1, 4), lambda x_t, step: np.zeros_like(x_t),
+                                        num_samples=2, eta=0.9, initial_noise=initial)
+        assert np.all(np.isfinite(samples))
+        # eta > 0 draws nothing when there is no predecessor step.
+        repeat = GaussianDiffusion(quadratic_schedule(1), rng=np.random.default_rng(0))
+        again = repeat.sample_ddim((1, 4), lambda x_t, step: np.zeros_like(x_t),
+                                   num_samples=2, eta=0.9, initial_noise=initial)
+        np.testing.assert_array_equal(samples, again)
+
+    def test_ancestral_single_step_schedule(self):
+        diffusion = GaussianDiffusion(quadratic_schedule(1), rng=np.random.default_rng(0))
+        samples = diffusion.sample((2, 2), lambda x_t, step: np.zeros_like(x_t),
+                                   num_samples=3, batched=True)
+        assert samples.shape == (3, 2, 2)
+        assert np.all(np.isfinite(samples))
+
+    def test_batched_noise_fn_sees_sample_axis(self):
+        """The batched samplers must call noise_fn once per step for all samples."""
+        diffusion = GaussianDiffusion(quadratic_schedule(9), rng=np.random.default_rng(0))
+        seen_shapes = []
+
+        def noise_fn(x_t, step):
+            seen_shapes.append(x_t.shape)
+            return np.zeros_like(x_t)
+
+        diffusion.sample((3, 5), noise_fn, num_samples=4, batched=True)
+        assert seen_shapes == [(4, 3, 5)] * 9

@@ -1,0 +1,221 @@
+"""Tests for the batched reverse-diffusion inference engine.
+
+Covers the engine's three responsibilities — ``(window, sample)`` chunking,
+per-window condition caching, and strided-window overlap averaging — plus the
+bit-compatibility contract between the batched path and the pre-engine serial
+reference (``impute(..., batched=False)``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import InferenceEngine, PriSTI, PriSTIConfig
+from repro.baselines import CSDIImputer
+from repro.diffusion import GaussianDiffusion, quadratic_schedule
+
+
+def _fast_config(**overrides):
+    defaults = dict(window_length=12, epochs=1, iterations_per_epoch=1,
+                    num_diffusion_steps=8, num_samples=3, batch_size=4)
+    defaults.update(overrides)
+    return PriSTIConfig.fast(**defaults)
+
+
+def _reseeded_impute(model, dataset, seed=99, **kwargs):
+    """Impute with a freshly seeded sampling RNG so runs are comparable."""
+    model.diffusion.rng = np.random.default_rng(seed)
+    return model.impute(dataset, segment="test", **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Engine-level tests (fake predictor; no training involved)
+# ----------------------------------------------------------------------
+class TestEngineMechanics:
+    def _engine(self, num_steps=6, **kwargs):
+        diffusion = GaussianDiffusion(quadratic_schedule(num_steps),
+                                      rng=np.random.default_rng(0))
+
+        def predict(x_t, condition, steps, conditional_mask, cache=None):
+            assert x_t.shape == condition.shape == conditional_mask.shape
+            assert len(steps) == x_t.shape[0]
+            return np.zeros_like(x_t)
+
+        return InferenceEngine(diffusion, predict, **kwargs)
+
+    def test_condition_built_once_per_window(self):
+        engine = self._engine()
+        calls = []
+
+        def build_condition(values, mask):
+            calls.append(values.shape)
+            return np.asarray(values, dtype=np.float64)
+
+        values = np.arange(40.0).reshape(20, 2)
+        mask = np.ones((20, 2), dtype=bool)
+        samples = engine.impute_segment(values, mask, window_length=8, stride=4,
+                                        num_samples=5, build_condition=build_condition)
+        starts = engine.window_starts(20, 8, 4)          # [0, 4, 8, 12]
+        assert samples.shape == (5, 20, 2)
+        # One call per window — never per (window, sample) pair.
+        assert len(calls) == len(starts) == 4
+        assert all(shape == (1, 2, 8) for shape in calls)
+
+    def test_chunk_size_does_not_change_results(self):
+        values = np.linspace(-1, 1, 36).reshape(18, 2)
+        mask = np.ones((18, 2), dtype=bool)
+        build = lambda v, m: np.asarray(v, dtype=np.float64)
+        reference = None
+        for batch_size in (1, 2, 3, 7, 64, None):
+            engine = self._engine(inference_batch_size=batch_size)
+            result = engine.impute_segment(values, mask, window_length=6, stride=3,
+                                           num_samples=3, build_condition=build)
+            if reference is None:
+                reference = result
+            else:
+                np.testing.assert_allclose(result, reference, atol=1e-10, rtol=0)
+
+    def test_overlap_counts_average_strided_windows(self):
+        """Uneven window coverage must still yield a finite full-segment result."""
+        diffusion = GaussianDiffusion(quadratic_schedule(4), rng=np.random.default_rng(0))
+
+        def predict(x_t, condition, steps, conditional_mask, cache=None):
+            return np.zeros_like(x_t)
+
+        engine = InferenceEngine(diffusion, predict)
+        values = np.zeros((10, 1))
+        mask = np.ones((10, 1), dtype=bool)
+        samples = engine.impute_segment(values, mask, window_length=6, stride=2,
+                                        num_samples=2, build_condition=lambda v, m: v)
+        # starts = [0, 2, 4]: coverage 1..3 windows per time step; averaging
+        # must keep the output finite and shaped like the segment.
+        assert samples.shape == (2, 10, 1)
+        assert np.all(np.isfinite(samples))
+
+    def test_short_segment_rejected(self):
+        engine = self._engine()
+        with pytest.raises(ValueError, match="shorter than the window"):
+            engine.impute_segment(np.zeros((4, 2)), np.ones((4, 2), dtype=bool),
+                                  window_length=8, num_samples=1,
+                                  build_condition=lambda v, m: v)
+
+    def test_cache_dict_passed_on_batched_path_only(self):
+        diffusion = GaussianDiffusion(quadratic_schedule(5), rng=np.random.default_rng(0))
+        seen = []
+
+        def predict(x_t, condition, steps, conditional_mask, cache=None):
+            seen.append(cache)
+            return np.zeros_like(x_t)
+
+        engine = InferenceEngine(diffusion, predict)
+        values, mask = np.zeros((8, 2)), np.ones((8, 2), dtype=bool)
+        engine.impute_segment(values, mask, window_length=8, num_samples=2,
+                              build_condition=lambda v, m: v, batched=True)
+        assert all(isinstance(cache, dict) for cache in seen)
+        # One chunk: the same scratch dict is reused across its steps.
+        assert len({id(cache) for cache in seen}) == 1
+
+        seen.clear()
+        engine.impute_segment(values, mask, window_length=8, num_samples=2,
+                              build_condition=lambda v, m: v, batched=False)
+        assert all(cache is None for cache in seen)
+
+    def test_invalid_arguments_rejected(self):
+        diffusion = GaussianDiffusion(quadratic_schedule(4), rng=np.random.default_rng(0))
+        predict = lambda *a, **k: None
+        with pytest.raises(ValueError):
+            InferenceEngine(diffusion, predict, parameterization="bogus")
+        with pytest.raises(ValueError):
+            InferenceEngine(diffusion, predict, inference_batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Model-level equivalence (trained imputers, both parameterizations)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trained_models(tiny_traffic_dataset):
+    """One cheaply trained PriSTI per parameterization."""
+    models = {}
+    for parameterization in ("epsilon", "x0_residual"):
+        model = PriSTI(_fast_config(parameterization=parameterization))
+        model.fit(tiny_traffic_dataset)
+        models[parameterization] = model
+    return models
+
+
+class TestBatchedImputeEquivalence:
+    @pytest.mark.parametrize("parameterization", ["epsilon", "x0_residual"])
+    def test_strided_batched_matches_serial(self, trained_models, tiny_traffic_dataset,
+                                            parameterization):
+        """stride < window: batched engine == pre-change serial loop (≤1e-10)."""
+        model = trained_models[parameterization]
+        batched = _reseeded_impute(model, tiny_traffic_dataset, num_samples=3,
+                                   stride=5, batched=True)
+        serial = _reseeded_impute(model, tiny_traffic_dataset, num_samples=3,
+                                  stride=5, batched=False)
+        np.testing.assert_allclose(batched.samples, serial.samples, atol=1e-10, rtol=0)
+        np.testing.assert_allclose(batched.median, serial.median, atol=1e-10, rtol=0)
+
+    def test_ddim_batched_matches_serial(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config(ddim_steps=4))
+        model.fit(tiny_traffic_dataset)
+        batched = _reseeded_impute(model, tiny_traffic_dataset, num_samples=2,
+                                   stride=7, batched=True)
+        serial = _reseeded_impute(model, tiny_traffic_dataset, num_samples=2,
+                                  stride=7, batched=False)
+        np.testing.assert_allclose(batched.samples, serial.samples, atol=1e-10, rtol=0)
+
+    def test_cross_window_chunks_match_default(self, trained_models, tiny_traffic_dataset):
+        """Chunks spanning window boundaries must not change the output."""
+        model = trained_models["x0_residual"]
+        reference = _reseeded_impute(model, tiny_traffic_dataset, num_samples=3, stride=5)
+        for batch_size in (1, 2, 7, 64):
+            model.config.inference_batch_size = batch_size
+            try:
+                result = _reseeded_impute(model, tiny_traffic_dataset, num_samples=3, stride=5)
+            finally:
+                model.config.inference_batch_size = None
+            np.testing.assert_allclose(result.samples, reference.samples,
+                                       atol=1e-10, rtol=0)
+
+    def test_observed_entries_passed_through_strided(self, trained_models,
+                                                     tiny_traffic_dataset):
+        model = trained_models["epsilon"]
+        result = _reseeded_impute(model, tiny_traffic_dataset, num_samples=2, stride=4)
+        values, observed, evaluation = tiny_traffic_dataset.segment("test")
+        visible = observed & ~evaluation
+        assert np.allclose(result.median[visible], values[visible])
+        assert np.allclose(result.samples[:, visible], values[visible][None])
+
+    def test_csdi_shares_engine(self, tiny_traffic_dataset):
+        model = CSDIImputer(_fast_config())
+        model.fit(tiny_traffic_dataset)
+        batched = _reseeded_impute(model, tiny_traffic_dataset, num_samples=2,
+                                   stride=5, batched=True)
+        serial = _reseeded_impute(model, tiny_traffic_dataset, num_samples=2,
+                                  stride=5, batched=False)
+        np.testing.assert_allclose(batched.samples, serial.samples, atol=1e-10, rtol=0)
+
+    def test_engine_requires_fit(self, tiny_traffic_dataset):
+        with pytest.raises(RuntimeError):
+            PriSTI(_fast_config()).inference_engine()
+
+    def test_config_rejects_bad_inference_batch_size(self):
+        with pytest.raises(ValueError):
+            _fast_config(inference_batch_size=0)
+        assert _fast_config(inference_batch_size=32).inference_batch_size == 32
+
+    @pytest.mark.slow
+    def test_equivalence_sweep(self, tiny_traffic_dataset):
+        """Exhaustive batched-vs-serial sweep; run with --run-slow."""
+        for parameterization in ("epsilon", "x0_residual"):
+            for ddim_steps in (None, 4):
+                for stride in (3, 6, 12):
+                    model = PriSTI(_fast_config(parameterization=parameterization,
+                                                ddim_steps=ddim_steps))
+                    model.fit(tiny_traffic_dataset)
+                    batched = _reseeded_impute(model, tiny_traffic_dataset,
+                                               num_samples=3, stride=stride, batched=True)
+                    serial = _reseeded_impute(model, tiny_traffic_dataset,
+                                              num_samples=3, stride=stride, batched=False)
+                    np.testing.assert_allclose(batched.samples, serial.samples,
+                                               atol=1e-10, rtol=0)

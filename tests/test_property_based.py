@@ -8,7 +8,7 @@ from repro.core.interpolation import interpolate_series
 from repro.data.masks import block_strategy, hybrid_strategy, point_strategy
 from repro.data.missing import inject_block_missing, inject_point_missing
 from repro.data.scalers import StandardScaler
-from repro.diffusion import quadratic_schedule
+from repro.diffusion import GaussianDiffusion, make_schedule, quadratic_schedule
 from repro.metrics import crps_from_samples, masked_mae, masked_mse
 from repro.tensor import Tensor, softmax
 
@@ -155,3 +155,58 @@ class TestScheduleProperties:
         assert np.all(schedule.betas > 0) and np.all(schedule.betas < 1)
         assert np.all(np.diff(schedule.alpha_bars) <= 1e-12)
         assert np.all(schedule.posterior_variance(np.arange(steps)) >= -1e-12)
+
+    @settings(**SETTINGS)
+    @given(st.sampled_from(["quadratic", "linear", "cosine"]), st.integers(2, 150))
+    def test_all_schedules_monotonic(self, name, num_steps):
+        """alpha_bar must decrease strictly for every named schedule."""
+        schedule = make_schedule(name, num_steps)
+        assert schedule.num_steps == num_steps
+        assert np.all(schedule.betas > 0) and np.all(schedule.betas < 1)
+        assert np.all(np.diff(schedule.alpha_bars) < 0)
+        assert 0 < schedule.alpha_bars[-1] < schedule.alpha_bars[0] < 1
+        assert np.all(schedule.posterior_variance(np.arange(num_steps)) >= -1e-12)
+        # The derived square-root tables must match the cumulative products.
+        steps = np.arange(num_steps)
+        assert np.allclose(schedule.sqrt_alpha_bar(steps) ** 2, schedule.alpha_bars)
+        assert np.allclose(schedule.sqrt_one_minus_alpha_bar(steps) ** 2,
+                           1.0 - schedule.alpha_bars)
+
+
+class TestDiffusionProcessProperties:
+    @settings(**SETTINGS)
+    @given(st.sampled_from(["quadratic", "linear", "cosine"]),
+           st.integers(2, 60), st.integers(0, 10_000))
+    def test_q_sample_predict_x0_roundtrip(self, name, num_steps, seed):
+        """predict_x0 must invert q_sample exactly, given the true noise."""
+        rng = np.random.default_rng(seed)
+        diffusion = GaussianDiffusion(make_schedule(name, num_steps), rng=rng)
+        x0 = rng.standard_normal((4, 3, 5)) * 3.0
+        steps = rng.integers(0, num_steps, size=4)
+        noisy, noise = diffusion.q_sample(x0, steps)
+        for index, step in enumerate(steps):
+            recovered = diffusion.predict_x0(noisy[index], noise[index], int(step))
+            assert np.allclose(recovered, x0[index], atol=1e-8)
+
+    @settings(**SETTINGS)
+    @given(st.integers(2, 40), st.integers(1, 4), st.integers(0, 10_000))
+    def test_batched_sampler_matches_serial(self, num_steps, num_samples, seed):
+        """RNG-stream design invariant: batched == serial under a shared seed."""
+        rng = np.random.default_rng(seed)
+        x0 = rng.standard_normal((2, 3))
+
+        def oracle(diffusion):
+            def noise_fn(x_t, step):
+                alpha_bar = diffusion.schedule.alpha_bars[step]
+                return (x_t - np.sqrt(alpha_bar) * x0) / np.sqrt(1 - alpha_bar)
+            return noise_fn
+
+        serial_diff = GaussianDiffusion(make_schedule("quadratic", num_steps),
+                                        rng=np.random.default_rng(seed + 1))
+        batched_diff = GaussianDiffusion(make_schedule("quadratic", num_steps),
+                                         rng=np.random.default_rng(seed + 1))
+        serial = serial_diff.sample(x0.shape, oracle(serial_diff),
+                                    num_samples=num_samples, batched=False)
+        batched = batched_diff.sample(x0.shape, oracle(batched_diff),
+                                      num_samples=num_samples, batched=True)
+        assert np.allclose(batched, serial, atol=1e-10)

@@ -49,4 +49,4 @@ class CSDIImputer(ConditionalDiffusionImputer):
 
     def build_condition(self, values, mask):
         """CSDI conditions on the raw observed values (zeros elsewhere)."""
-        return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=self.dtype)

@@ -36,7 +36,7 @@ class AuxiliaryInfo(Module):
         temporal = Tensor(np.broadcast_to(
             self._temporal[None, :, :],
             (self.num_nodes, self.window_length, self._temporal.shape[1]),
-        ).copy())
+        ).copy(), dtype=self._temporal.dtype)
         node = self.node_embedding()                      # (N, node_dim)
         node = node.expand_dims(1)                        # (N, 1, node_dim)
         node = node.broadcast_to(

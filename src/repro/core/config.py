@@ -63,6 +63,23 @@ class PriSTIConfig:
     lr_gamma: float = 0.1
     grad_clip: float = 5.0
     mask_strategy: str = "hybrid"
+    #: Use the vectorised training hot path: batched mask-strategy sampling
+    #: (one draw per batch instead of a Python loop over windows) and the
+    #: flat-buffer optimiser (whole-buffer Adam / clip / zero_grad).  ``False``
+    #: restores the seed's per-window, per-parameter loops; numerics are
+    #: statistically equivalent but not RNG-identical (see
+    #: :mod:`repro.data.masks`).
+    vectorized_training: bool = True
+
+    # Numerics
+    #: Floating-point dtype for the whole train + inference path.  "float64"
+    #: (the default) keeps the seed's precision and is what the gradient
+    #: checks require; "float32" halves memory traffic and is the fast
+    #: production setting — see ``benchmarks/bench_training_throughput`` for
+    #: the measured speedup and the float32-vs-float64 loss agreement.
+    #: (RNG-identical training relative to the seed additionally needs
+    #: ``vectorized_training=False``; see that flag's note.)
+    dtype: str = "float64"
 
     # Inference
     num_samples: int = 100
@@ -97,6 +114,8 @@ class PriSTIConfig:
             raise ValueError("parameterization must be 'epsilon' or 'x0_residual'")
         if self.inference_batch_size is not None and self.inference_batch_size < 1:
             raise ValueError("inference_batch_size must be a positive integer (or None)")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
     # ------------------------------------------------------------------
     # Presets

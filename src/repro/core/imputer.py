@@ -25,8 +25,8 @@ from ..data.windows import WindowSampler
 from ..diffusion import GaussianDiffusion, make_schedule
 from ..inference import InferenceEngine
 from ..metrics import crps_from_samples, masked_mae, masked_mse, masked_rmse
-from ..nn import Adam, MilestoneLR, clip_grad_norm
-from ..tensor import Tensor, masked_mse_loss, no_grad
+from ..nn import Adam, MilestoneLR
+from ..tensor import Tensor, dtype_scope, masked_mse_loss, no_grad
 from .config import PriSTIConfig
 from .interpolation import linear_interpolation
 from .model import PriSTINetwork
@@ -98,6 +98,11 @@ class ConditionalDiffusionImputer:
         """
         raise NotImplementedError
 
+    @property
+    def dtype(self):
+        """Floating-point dtype of the train + inference path (from config)."""
+        return np.dtype(self.config.dtype)
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -105,15 +110,18 @@ class ConditionalDiffusionImputer:
         if self.network is not None:
             return
         self.num_nodes = dataset.num_nodes
-        self.adjacency = np.asarray(dataset.adjacency, dtype=np.float64)
-        self.network = self.build_network(self.num_nodes, self.adjacency)
+        self.adjacency = np.asarray(dataset.adjacency, dtype=self.dtype)
+        # Build the network under the configured dtype so every parameter,
+        # embedding table and graph support comes out in that precision.
+        with dtype_scope(self.dtype):
+            self.network = self.build_network(self.num_nodes, self.adjacency)
         schedule = make_schedule(
             self.config.schedule,
             self.config.num_diffusion_steps,
             beta_min=self.config.beta_min,
             beta_max=self.config.beta_max,
         )
-        self.diffusion = GaussianDiffusion(schedule, rng=self.rng)
+        self.diffusion = GaussianDiffusion(schedule, rng=self.rng, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
@@ -132,7 +140,11 @@ class ConditionalDiffusionImputer:
             values, observed_mask, eval_mask, self.config.window_length, stride=1
         )
         strategy = MaskStrategy(self.config.mask_strategy, rng=self.rng)
-        optimizer = Adam(self.network.parameters(), lr=self.config.learning_rate)
+        optimizer = Adam(
+            self.network.parameters(),
+            lr=self.config.learning_rate,
+            vectorized=self.config.vectorized_training,
+        )
         scheduler = MilestoneLR(
             optimizer,
             total_epochs=self.config.epochs,
@@ -143,34 +155,46 @@ class ConditionalDiffusionImputer:
 
         start_time = time.perf_counter()
         self.network.train()
-        for epoch in range(self.config.epochs):
-            epoch_losses = []
-            for _ in range(iterations):
-                batch = sampler.random_batch(self.config.batch_size, rng=self.rng)
-                loss = self._training_step(batch, strategy, optimizer)
-                epoch_losses.append(loss)
-            scheduler.step()
-            mean_loss = float(np.mean(epoch_losses))
-            self.history["loss"].append(mean_loss)
-            if verbose:
-                print(f"[{self.name}] epoch {epoch + 1}/{self.config.epochs} "
-                      f"loss={mean_loss:.4f} lr={scheduler.current_lr:.2e}")
+        # Leaf tensors created by the training step (noise targets, masks,
+        # loss weights) follow the configured dtype.
+        with dtype_scope(self.dtype):
+            for epoch in range(self.config.epochs):
+                epoch_losses = []
+                for _ in range(iterations):
+                    batch = sampler.random_batch(self.config.batch_size, rng=self.rng)
+                    loss = self._training_step(batch, strategy, optimizer)
+                    epoch_losses.append(loss)
+                scheduler.step()
+                mean_loss = float(np.mean(epoch_losses))
+                self.history["loss"].append(mean_loss)
+                if verbose:
+                    print(f"[{self.name}] epoch {epoch + 1}/{self.config.epochs} "
+                          f"loss={mean_loss:.4f} lr={scheduler.current_lr:.2e}")
         self.training_seconds += time.perf_counter() - start_time
         return self.history
 
     def _training_step(self, batch, strategy, optimizer):
         """One gradient step on a batch of windows."""
         observed = batch.input_mask                         # (B, N, L) model-visible data
-        values = self.scaler.transform(batch.values) * observed
+        values = self.scaler.transform(batch.values).astype(self.dtype) * observed
 
-        conditional_masks = []
-        for index in range(len(batch)):
+        if self.config.vectorized_training:
+            # One vectorised mask draw for the whole batch (Algorithm 1's
+            # per-window strategy loop was a training-time hot spot).
             historical = None
             if strategy.name == "hybrid-historical":
-                other = int(self.rng.integers(len(batch)))
-                historical = batch.input_mask[other]
-            conditional_masks.append(strategy(observed[index], historical_mask=historical))
-        conditional_mask = np.stack(conditional_masks)
+                partners = self.rng.integers(0, len(batch), size=len(batch))
+                historical = observed[partners]
+            conditional_mask = strategy.batch(observed, historical_masks=historical)
+        else:
+            conditional_masks = []
+            for index in range(len(batch)):
+                historical = None
+                if strategy.name == "hybrid-historical":
+                    other = int(self.rng.integers(len(batch)))
+                    historical = batch.input_mask[other]
+                conditional_masks.append(strategy(observed[index], historical_mask=historical))
+            conditional_mask = np.stack(conditional_masks)
         target_mask = observed & ~conditional_mask
 
         if target_mask.sum() == 0:
@@ -199,7 +223,9 @@ class ConditionalDiffusionImputer:
             reconstruction = predicted + Tensor(condition)
             loss = masked_mse_loss(reconstruction, Tensor(values), target_mask)
         loss.backward()
-        clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+        # Whole-buffer clipping when the optimiser is vectorised; falls back
+        # to the per-parameter loop otherwise.
+        optimizer.clip_grad_norm(self.config.grad_clip)
         optimizer.step()
         return float(loss.data)
 
@@ -308,4 +334,4 @@ class PriSTI(ConditionalDiffusionImputer):
         """Interpolated conditional information (or raw values for mix-STI)."""
         if self.config.use_interpolation:
             return linear_interpolation(values, mask)
-        return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=self.dtype)

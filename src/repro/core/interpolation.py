@@ -46,7 +46,12 @@ def linear_interpolation(values, mask):
 
     Accepts ``(node, time)`` or ``(batch, node, time)`` arrays and returns an
     array of the same shape; only entries where ``mask`` is 1 are trusted.
+    Float inputs keep their dtype (the interpolation itself runs in float64
+    per series), so a float32 training batch yields a float32 condition.
     """
+    dtype = np.asarray(values).dtype
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        dtype = np.dtype(np.float64)
     values = np.asarray(values, dtype=np.float64)
     mask = np.asarray(mask).astype(bool)
     if values.shape != mask.shape:
@@ -55,10 +60,10 @@ def linear_interpolation(values, mask):
         output = np.empty_like(values)
         for node in range(values.shape[0]):
             output[node] = interpolate_series(values[node], mask[node])
-        return output
+        return output.astype(dtype, copy=False)
     if values.ndim == 3:
         output = np.empty_like(values)
         for batch in range(values.shape[0]):
             output[batch] = linear_interpolation(values[batch], mask[batch])
-        return output
+        return output.astype(dtype, copy=False)
     raise ValueError("expected a 2-D (node, time) or 3-D (batch, node, time) array")

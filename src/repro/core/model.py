@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Conv1x1, DiffusionStepEmbedding, Module, ModuleList
-from ..tensor import Tensor, cat
+from ..tensor import Tensor, add_n, cat
 from .auxiliary import AuxiliaryInfo
 from .conditional_feature import ConditionalFeatureExtraction
 from .config import PriSTIConfig
@@ -101,6 +101,11 @@ class PriSTINetwork(Module):
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
+    @property
+    def dtype(self):
+        """The parameter dtype; array inputs are cast to it in forward."""
+        return self.input_projection.weight.data.dtype
+
     def prepare_conditioning(self, condition, batch_size):
         """Precompute the step-independent conditioning tensors.
 
@@ -112,7 +117,8 @@ class PriSTINetwork(Module):
         ``conditioning`` parameter; it is only valid while ``condition`` and
         the batch size stay unchanged.
         """
-        condition = condition if isinstance(condition, Tensor) else Tensor(condition)
+        condition = condition if isinstance(condition, Tensor) \
+            else Tensor(condition, dtype=self.dtype)
         condition_channel = condition.expand_dims(-1)             # (B, N, L, 1)
         auxiliary = self.auxiliary(batch_size)
         if self.conditional_feature is not None:
@@ -149,13 +155,16 @@ class PriSTINetwork(Module):
         -------
         Tensor of shape ``(batch, node, time)``.
         """
-        noisy_target = noisy_target if isinstance(noisy_target, Tensor) else Tensor(noisy_target)
-        condition = condition if isinstance(condition, Tensor) else Tensor(condition)
+        dtype = self.dtype
+        noisy_target = noisy_target if isinstance(noisy_target, Tensor) \
+            else Tensor(noisy_target, dtype=dtype)
+        condition = condition if isinstance(condition, Tensor) \
+            else Tensor(condition, dtype=dtype)
         batch_size = noisy_target.shape[0]
         if conditional_mask is None:
-            conditional_mask = np.ones(noisy_target.shape)
+            conditional_mask = np.ones(noisy_target.shape, dtype=dtype)
         mask_tensor = conditional_mask if isinstance(conditional_mask, Tensor) \
-            else Tensor(np.asarray(conditional_mask, dtype=np.float64))
+            else Tensor(conditional_mask, dtype=dtype)
 
         noisy_channel = noisy_target.expand_dims(-1)              # (B, N, L, 1)
         condition_channel = condition.expand_dims(-1)             # (B, N, L, 1)
@@ -172,12 +181,14 @@ class PriSTINetwork(Module):
 
         step_embedding = self.diffusion_embedding(steps)
 
-        skips = None
+        skips = []
         hidden = hidden_in
         for layer in self.layers:
             hidden, skip = layer(hidden, prior, step_embedding, auxiliary=auxiliary)
-            skips = skip if skips is None else skips + skip
-        skips = skips * (1.0 / np.sqrt(len(self.layers)))
+            skips.append(skip)
+        # One fused graph node for the whole skip sum instead of a chain of
+        # binary adds (see repro.tensor.ops.add_n).
+        skips = add_n(skips) * (1.0 / np.sqrt(len(self.layers)))
 
         output = self.output_projection1(skips).relu()
         output = self.output_projection2(output)

@@ -20,6 +20,10 @@ from .masks import (
     block_strategy,
     historical_strategy,
     hybrid_strategy,
+    point_strategy_batch,
+    block_strategy_batch,
+    historical_strategy_batch,
+    hybrid_strategy_batch,
     MaskStrategy,
 )
 from .windows import WindowBatch, WindowSampler
@@ -42,6 +46,10 @@ __all__ = [
     "block_strategy",
     "historical_strategy",
     "hybrid_strategy",
+    "point_strategy_batch",
+    "block_strategy_batch",
+    "historical_strategy_batch",
+    "hybrid_strategy_batch",
     "MaskStrategy",
     "WindowBatch",
     "WindowSampler",

@@ -13,6 +13,13 @@ and reconstructed).  PriSTI / CSDI use three strategies:
 
 All functions operate on a window's observed mask of shape ``(node, time)``
 and return the conditional mask (subset of the observed mask).
+
+Each strategy also has a ``*_batch`` variant operating on a whole
+``(batch, node, time)`` stack of windows at once; these are what the training
+loop uses (one vectorised draw per batch instead of a Python loop over
+windows).  The batch variants consume the random generator in a different
+order than per-window calls, so serial and batched training runs are
+statistically equivalent but not bit-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ __all__ = [
     "block_strategy",
     "historical_strategy",
     "hybrid_strategy",
+    "point_strategy_batch",
+    "block_strategy_batch",
+    "historical_strategy_batch",
+    "hybrid_strategy_batch",
     "MaskStrategy",
 ]
 
@@ -91,6 +102,93 @@ def hybrid_strategy(observed_mask, historical_mask=None, point_probability=0.5, 
     return block_strategy(observed, rng=rng)
 
 
+def _as_batch_mask(masks):
+    masks = np.asarray(masks)
+    if masks.ndim != 3:
+        raise ValueError("batched masks must be 3-dimensional (batch, node, time)")
+    return masks.astype(bool)
+
+
+def point_strategy_batch(observed_masks, rng=None):
+    """Vectorised :func:`point_strategy` over ``(batch, node, time)`` masks.
+
+    Each window draws its own erasure rate, exactly as the serial strategy
+    does per call.
+    """
+    rng = rng or np.random.default_rng(0)
+    observed = _as_batch_mask(observed_masks)
+    rates = rng.random(observed.shape[0])
+    erase = (rng.random(observed.shape) < rates[:, None, None]) & observed
+    return observed & ~erase
+
+
+def block_strategy_batch(observed_masks, block_probability=0.15,
+                         extra_point_rate=0.05, rng=None):
+    """Vectorised :func:`block_strategy` over ``(batch, node, time)`` masks.
+
+    Per (window, node): with probability ``U(0, block_probability)`` erase a
+    contiguous span of length ``[L/2, L]``; plus ``extra_point_rate`` random
+    points everywhere.
+    """
+    rng = rng or np.random.default_rng(0)
+    observed = _as_batch_mask(observed_masks)
+    batch, num_nodes, length = observed.shape
+    hit = rng.random((batch, num_nodes)) < rng.uniform(
+        0.0, block_probability, size=(batch, num_nodes)
+    )
+    spans = rng.integers(length // 2, length + 1, size=(batch, num_nodes))
+    starts = np.floor(
+        rng.random((batch, num_nodes)) * (length - spans + 1)
+    ).astype(int)
+    positions = np.arange(length)
+    erase = (
+        hit[..., None]
+        & (positions >= starts[..., None])
+        & (positions < (starts + spans)[..., None])
+    )
+    erase |= rng.random(observed.shape) < extra_point_rate
+    erase &= observed
+    return observed & ~erase
+
+
+def historical_strategy_batch(observed_masks, historical_masks, rng=None):
+    """Vectorised :func:`historical_strategy` over window stacks.
+
+    Windows whose conditional mask would come out empty fall back to the
+    point strategy, mirroring the serial degenerate-case handling.
+    """
+    observed = _as_batch_mask(observed_masks)
+    historical = _as_batch_mask(historical_masks)
+    if historical.shape != observed.shape:
+        raise ValueError("historical masks must have the same shape as the windows")
+    conditional = observed & historical
+    degenerate = ~conditional.any(axis=(1, 2))
+    if degenerate.any():
+        fallback = point_strategy_batch(observed, rng=rng)
+        conditional = np.where(degenerate[:, None, None], fallback, conditional)
+    return conditional
+
+
+def hybrid_strategy_batch(observed_masks, historical_masks=None,
+                          point_probability=0.5, rng=None):
+    """Vectorised :func:`hybrid_strategy`: per-window coin between point and
+    block (or historical) erasure.
+
+    Both branches are drawn for every window and combined with a per-window
+    selector; this costs a second mask draw but keeps the whole batch free of
+    Python loops.
+    """
+    rng = rng or np.random.default_rng(0)
+    observed = _as_batch_mask(observed_masks)
+    choose_point = rng.random(observed.shape[0]) < point_probability
+    point = point_strategy_batch(observed, rng=rng)
+    if historical_masks is not None:
+        other = historical_strategy_batch(observed, historical_masks, rng=rng)
+    else:
+        other = block_strategy_batch(observed, rng=rng)
+    return np.where(choose_point[:, None, None], point, other)
+
+
 class MaskStrategy:
     """Callable wrapper selecting one of the named strategies.
 
@@ -119,6 +217,21 @@ class MaskStrategy:
         if self.name == "hybrid":
             return hybrid_strategy(observed_mask, rng=self.rng)
         return hybrid_strategy(observed_mask, historical_mask=historical_mask, rng=self.rng)
+
+    def batch(self, observed_masks, historical_masks=None):
+        """Return conditional masks for a ``(batch, node, time)`` stack.
+
+        One vectorised draw for the whole batch; see the module docstring for
+        the RNG-ordering caveat relative to per-window calls.
+        """
+        if self.name == "point":
+            return point_strategy_batch(observed_masks, rng=self.rng)
+        if self.name == "block":
+            return block_strategy_batch(observed_masks, rng=self.rng)
+        if self.name == "hybrid":
+            return hybrid_strategy_batch(observed_masks, rng=self.rng)
+        return hybrid_strategy_batch(observed_masks, historical_masks=historical_masks,
+                                     rng=self.rng)
 
     def __repr__(self):
         return f"MaskStrategy({self.name})"

@@ -31,17 +31,28 @@ class GaussianDiffusion:
     same shape as ``noisy_target``.
     """
 
-    def __init__(self, schedule, rng=None):
+    def __init__(self, schedule, rng=None, dtype=np.float64):
         if isinstance(schedule, str):
             schedule = make_schedule(schedule, num_steps=50)
         if not isinstance(schedule, NoiseSchedule):
             raise TypeError("schedule must be a NoiseSchedule or a schedule name")
         self.schedule = schedule
         self.rng = rng or np.random.default_rng(0)
+        self.dtype = np.dtype(dtype)
 
     @property
     def num_steps(self):
         return self.schedule.num_steps
+
+    def _standard_normal(self, shape):
+        """Standard-normal draw in :attr:`dtype`.
+
+        Always consumes the generator's ``float64`` stream and casts
+        afterwards, so float32 and float64 runs under the same seed see the
+        same noise (up to rounding) and the serial/batched equivalence holds
+        in either dtype.
+        """
+        return self.rng.standard_normal(shape).astype(self.dtype, copy=False)
 
     # ------------------------------------------------------------------
     # Forward process
@@ -56,13 +67,15 @@ class GaussianDiffusion:
         ``x0`` has shape ``(batch, ...)``; ``steps`` has shape ``(batch,)``.
         Returns ``(x_t, noise)``.
         """
-        x0 = np.asarray(x0, dtype=np.float64)
+        x0 = np.asarray(x0, dtype=self.dtype)
         steps = np.asarray(steps, dtype=int)
         if noise is None:
-            noise = self.rng.standard_normal(x0.shape)
+            noise = self._standard_normal(x0.shape)
         shape = (len(steps),) + (1,) * (x0.ndim - 1)
-        sqrt_ab = self.schedule.sqrt_alpha_bar(steps).reshape(shape)
-        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(steps).reshape(shape)
+        sqrt_ab = self.schedule.sqrt_alpha_bar(steps).reshape(shape).astype(self.dtype)
+        sqrt_1mab = (
+            self.schedule.sqrt_one_minus_alpha_bar(steps).reshape(shape).astype(self.dtype)
+        )
         return sqrt_ab * x0 + sqrt_1mab * noise, noise
 
     # ------------------------------------------------------------------
@@ -70,16 +83,18 @@ class GaussianDiffusion:
     # ------------------------------------------------------------------
     def predict_x0(self, x_t, predicted_noise, step):
         """Recover the ``x_0`` estimate implied by a noise prediction."""
-        sqrt_ab = self.schedule.sqrt_alpha_bar(step)
-        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(step)
+        # Scalar coefficients pass through float() so they stay weak under
+        # NEP 50 promotion and cannot upcast a float32 state.
+        sqrt_ab = float(self.schedule.sqrt_alpha_bar(step))
+        sqrt_1mab = float(self.schedule.sqrt_one_minus_alpha_bar(step))
         return (x_t - sqrt_1mab * predicted_noise) / max(sqrt_ab, 1e-12)
 
     def p_mean(self, x_t, predicted_noise, step):
         """Posterior mean ``mu_theta`` of Eq. (3)."""
-        alpha = self.schedule.alphas[step]
-        beta = self.schedule.betas[step]
-        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bar(step)
-        return (x_t - beta / sqrt_1mab * predicted_noise) / np.sqrt(alpha)
+        alpha = float(self.schedule.alphas[step])
+        beta = float(self.schedule.betas[step])
+        sqrt_1mab = float(self.schedule.sqrt_one_minus_alpha_bar(step))
+        return (x_t - beta / sqrt_1mab * predicted_noise) / float(np.sqrt(alpha))
 
     def p_sample_step(self, x_t, predicted_noise, step, noise=None):
         """One ancestral sampling step ``x_t -> x_{t-1}``."""
@@ -87,8 +102,8 @@ class GaussianDiffusion:
         if step == 0:
             return mean
         if noise is None:
-            noise = self.rng.standard_normal(x_t.shape)
-        sigma = np.sqrt(self.schedule.posterior_variance(step))
+            noise = self._standard_normal(x_t.shape)
+        sigma = float(np.sqrt(self.schedule.posterior_variance(step)))
         return mean + sigma * noise
 
     def _prepare_noise(self, num_samples, shape, draws_per_sample, initial_noise):
@@ -107,15 +122,15 @@ class GaussianDiffusion:
         ``inference_batch_size`` in :mod:`repro.inference.engine`.
         """
         shape = tuple(shape)
-        start = np.empty((num_samples,) + shape, dtype=np.float64)
-        step_noise = np.empty((num_samples, draws_per_sample) + shape, dtype=np.float64)
+        start = np.empty((num_samples,) + shape, dtype=self.dtype)
+        step_noise = np.empty((num_samples, draws_per_sample) + shape, dtype=self.dtype)
         for sample_index in range(num_samples):
             if initial_noise is None:
-                start[sample_index] = self.rng.standard_normal(shape)
+                start[sample_index] = self._standard_normal(shape)
             else:
-                start[sample_index] = np.asarray(initial_noise[sample_index], dtype=np.float64)
+                start[sample_index] = np.asarray(initial_noise[sample_index], dtype=self.dtype)
             for draw in range(draws_per_sample):
-                step_noise[sample_index, draw] = self.rng.standard_normal(shape)
+                step_noise[sample_index, draw] = self._standard_normal(shape)
         return start, step_noise
 
     def sample(self, shape, noise_fn, num_samples=1, initial_noise=None, batched=True):
@@ -157,7 +172,7 @@ class GaussianDiffusion:
             if step == 0:
                 x_t = mean
             else:
-                sigma = np.sqrt(self.schedule.posterior_variance(step))
+                sigma = float(np.sqrt(self.schedule.posterior_variance(step)))
                 x_t = mean + sigma * step_noise[:, position]
         return x_t
 
@@ -166,9 +181,9 @@ class GaussianDiffusion:
         samples = []
         for sample_index in range(num_samples):
             if initial_noise is not None:
-                x_t = np.array(initial_noise[sample_index], dtype=np.float64)
+                x_t = np.array(initial_noise[sample_index], dtype=self.dtype)
             else:
-                x_t = self.rng.standard_normal(shape)
+                x_t = self._standard_normal(shape)
             for step in range(self.num_steps - 1, -1, -1):
                 predicted = noise_fn(x_t, step)
                 x_t = self.p_sample_step(x_t, predicted, step)
@@ -198,7 +213,7 @@ class GaussianDiffusion:
         alpha_bar_prev = alpha_bars[prev_step] if prev_step >= 0 else 1.0
         if prev_step >= 0 and eta > 0:
             ratio = (1.0 - alpha_bar_prev) / max(1.0 - alpha_bar, 1e-12)
-            sigma = eta * np.sqrt(max(ratio * (1.0 - alpha_bar / alpha_bar_prev), 0.0))
+            sigma = float(eta * np.sqrt(max(ratio * (1.0 - alpha_bar / alpha_bar_prev), 0.0)))
         else:
             sigma = 0.0
         return alpha_bar, alpha_bar_prev, sigma
@@ -206,9 +221,10 @@ class GaussianDiffusion:
     def _ddim_update(self, x_t, predicted, step, prev_step, eta):
         """Deterministic part of one DDIM step; returns ``(x_prev, sigma)``."""
         alpha_bar, alpha_bar_prev, sigma = self._ddim_coefficients(step, prev_step, eta)
-        x0_estimate = (x_t - np.sqrt(1 - alpha_bar) * predicted) / max(np.sqrt(alpha_bar), 1e-12)
-        direction = np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0)) * predicted
-        return np.sqrt(alpha_bar_prev) * x0_estimate + direction, sigma
+        x0_estimate = (x_t - float(np.sqrt(1 - alpha_bar)) * predicted) \
+            / max(float(np.sqrt(alpha_bar)), 1e-12)
+        direction = float(np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0))) * predicted
+        return float(np.sqrt(alpha_bar_prev)) * x0_estimate + direction, sigma
 
     def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None,
                     eta=0.0, initial_noise=None, batched=True):
@@ -240,14 +256,14 @@ class GaussianDiffusion:
         samples = []
         for sample_index in range(num_samples):
             if initial_noise is not None:
-                x_t = np.array(initial_noise[sample_index], dtype=np.float64)
+                x_t = np.array(initial_noise[sample_index], dtype=self.dtype)
             else:
-                x_t = self.rng.standard_normal(shape)
+                x_t = self._standard_normal(shape)
             for position, step in enumerate(step_sequence):
                 predicted = noise_fn(x_t, step)
                 prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
                 x_t, sigma = self._ddim_update(x_t, predicted, step, prev_step, eta)
                 if sigma > 0:
-                    x_t = x_t + sigma * self.rng.standard_normal(shape)
+                    x_t = x_t + sigma * self._standard_normal(shape)
             samples.append(x_t)
         return np.stack(samples)

@@ -82,7 +82,7 @@ class InferenceEngine:
     """
 
     def __init__(self, diffusion, predict, *, parameterization="epsilon",
-                 inference_batch_size=None, ddim_steps=None):
+                 inference_batch_size=None, ddim_steps=None, dtype=None):
         if parameterization not in ("epsilon", "x0_residual"):
             raise ValueError("parameterization must be 'epsilon' or 'x0_residual'")
         if inference_batch_size is not None and inference_batch_size < 1:
@@ -92,6 +92,10 @@ class InferenceEngine:
         self.parameterization = parameterization
         self.inference_batch_size = inference_batch_size
         self.ddim_steps = ddim_steps
+        # Working dtype for the reverse process; defaults to the diffusion
+        # object's dtype so float32 models sample in float32 end to end.
+        self.dtype = np.dtype(dtype) if dtype is not None \
+            else getattr(diffusion, "dtype", np.dtype(np.float64))
 
     # ------------------------------------------------------------------
     # Window planning
@@ -114,8 +118,11 @@ class InferenceEngine:
         for start in self.window_starts(values.shape[0], window_length, stride):
             stop = start + window_length
             window_values = values[start:stop].T[None]                    # (1, N, L)
-            window_mask = input_mask[start:stop].T[None].astype(np.float64)
-            condition = build_condition(window_values * window_mask, window_mask)
+            window_mask = input_mask[start:stop].T[None].astype(self.dtype)
+            condition = np.asarray(
+                build_condition(window_values * window_mask, window_mask),
+                dtype=self.dtype,
+            )
             windows.append(_WindowPlan(start, window_values, window_mask, condition))
         return windows
 
@@ -129,8 +136,8 @@ class InferenceEngine:
         # Convert the predicted clean target back to the implied noise.
         x0_estimate = condition + prediction
         schedule = self.diffusion.schedule
-        sqrt_ab = schedule.sqrt_alpha_bar(step)
-        sqrt_1mab = max(schedule.sqrt_one_minus_alpha_bar(step), 1e-6)
+        sqrt_ab = float(schedule.sqrt_alpha_bar(step))
+        sqrt_1mab = max(float(schedule.sqrt_one_minus_alpha_bar(step)), 1e-6)
         return (x_t - sqrt_ab * x0_estimate) / sqrt_1mab
 
     def _sample_chunk(self, plans):
@@ -214,7 +221,7 @@ class InferenceEngine:
         ndarray of shape ``(num_samples, length, node)`` — overlap-averaged
         posterior samples, still in the scaled domain.
         """
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=self.dtype)
         length, num_nodes = values.shape
         stride = stride or window_length
         windows = self._plan_windows(values, input_mask, window_length, stride, build_condition)

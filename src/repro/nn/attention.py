@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, softmax
+from ..tensor import Tensor, attention_core, softmax
 from . import init
 from .linear import Linear
 from .module import Module, Parameter
@@ -68,10 +68,15 @@ class MultiHeadAttention(Module):
         self.value_proj = Linear(d_model, d_model, rng=rng)
         self.out_proj = Linear(d_model, d_model, rng=rng)
 
-    def attention_weights(self, query_source, key_source):
-        """Return the softmax attention map built from the given sources."""
+    def _project_qk(self, query_source, key_source):
+        """Project and head-split the Q/K sources (shared by both paths)."""
         queries = _split_heads(self.query_proj(query_source), self.num_heads)
         keys = _split_heads(self.key_proj(key_source), self.num_heads)
+        return queries, keys
+
+    def attention_weights(self, query_source, key_source):
+        """Return the softmax attention map built from the given sources."""
+        queries, keys = self._project_qk(query_source, key_source)
         scores = queries @ keys.swapaxes(-1, -2)
         scores = scores * (1.0 / np.sqrt(self.head_dim))
         return softmax(scores, axis=-1)
@@ -89,9 +94,10 @@ class MultiHeadAttention(Module):
         """
         query_source = value if query_source is None else query_source
         key_source = query_source if key_source is None else key_source
-        weights = self.attention_weights(query_source, key_source)
+        queries, keys = self._project_qk(query_source, key_source)
         values = _split_heads(self.value_proj(value), self.num_heads)
-        context = weights @ values
+        context = attention_core(queries, keys, values,
+                                 scale=1.0 / np.sqrt(self.head_dim))
         return self.out_proj(_merge_heads(context))
 
 
@@ -140,8 +146,6 @@ class VirtualNodeAttention(Module):
         keys = _split_heads(self.key_proj(pooled_keys), self.num_heads)
         values = _split_heads(self.value_proj(pooled_values), self.num_heads)
 
-        scores = queries @ keys.swapaxes(-1, -2)
-        scores = scores * (1.0 / np.sqrt(self.head_dim))
-        weights = softmax(scores, axis=-1)
-        context = weights @ values
+        context = attention_core(queries, keys, values,
+                                 scale=1.0 / np.sqrt(self.head_dim))
         return self.out_proj(_merge_heads(context))

@@ -24,7 +24,14 @@ __all__ = [
 
 
 def sinusoidal_table(num_positions, dim):
-    """Classic transformer sine/cosine table of shape (num_positions, dim)."""
+    """Classic transformer sine/cosine table of shape (num_positions, dim).
+
+    Computed in ``float64`` and cast to the library default dtype, so a table
+    built inside a :func:`repro.tensor.dtype_scope` matches the model's
+    parameters.
+    """
+    from ..tensor.tensor import get_default_dtype
+
     positions = np.arange(num_positions)[:, None].astype(np.float64)
     half = dim // 2
     frequencies = 10.0 ** (np.arange(half) / max(half - 1, 1) * 4.0)
@@ -32,7 +39,7 @@ def sinusoidal_table(num_positions, dim):
     table = np.zeros((num_positions, dim), dtype=np.float64)
     table[:, 0::2] = np.sin(angles)[:, : (dim + 1) // 2]
     table[:, 1::2] = np.cos(angles)[:, : dim // 2]
-    return table
+    return table.astype(get_default_dtype(), copy=False)
 
 
 def temporal_encoding(length, dim=128):
@@ -60,7 +67,7 @@ class DiffusionStepEmbedding(Module):
     def forward(self, steps):
         """Embed an array of integer diffusion steps, shape (batch,)."""
         steps = np.asarray(steps, dtype=int).reshape(-1)
-        table = Tensor(self._table[steps])          # (batch, embedding_dim)
+        table = Tensor(self._table[steps], dtype=self._table.dtype)
         hidden = ops.silu(self.proj1(table))
         return ops.silu(self.proj2(hidden))         # (batch, projection_dim)
 

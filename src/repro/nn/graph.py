@@ -22,10 +22,12 @@ __all__ = ["GraphWaveNetConv", "MPNN"]
 
 def _transition_matrix(adjacency):
     """Row-normalised transition matrix ``D^-1 A`` as a constant ndarray."""
+    from ..tensor.tensor import get_default_dtype
+
     adjacency = np.asarray(adjacency, dtype=np.float64)
     degrees = adjacency.sum(axis=1, keepdims=True)
     degrees = np.maximum(degrees, 1e-10)
-    return adjacency / degrees
+    return (adjacency / degrees).astype(get_default_dtype(), copy=False)
 
 
 class GraphWaveNetConv(Module):
@@ -83,12 +85,12 @@ class GraphWaveNetConv(Module):
         if isinstance(support, Tensor):
             mixed = support @ flat
         else:
-            mixed = Tensor(support) @ flat
+            mixed = Tensor(support, dtype=support.dtype) @ flat
         return mixed.reshape(batch, nodes, length, channels)
 
     def forward(self, x):
         outputs = [x]
-        supports = [Tensor(s) for s in self._supports]
+        supports = [Tensor(s, dtype=s.dtype) for s in self._supports]
         if self.use_adaptive:
             supports.append(self.adaptive_adjacency())
         for support in supports:

@@ -1,7 +1,10 @@
 """Weight initialisation helpers.
 
-All functions return plain numpy arrays; the calling layer wraps them in
-:class:`~repro.nn.module.Parameter`.
+All functions return plain numpy arrays in the library default dtype (see
+:func:`repro.tensor.set_default_dtype`); the calling layer wraps them in
+:class:`~repro.nn.module.Parameter`.  Random draws always consume the
+generator in ``float64`` and are cast afterwards, so a float32 and a float64
+model built from the same seed start from identical weights (up to rounding).
 """
 
 from __future__ import annotations
@@ -9,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor.random import default_rng
+from ..tensor.tensor import get_default_dtype
 
 __all__ = [
     "zeros",
@@ -23,24 +27,24 @@ __all__ = [
 
 def zeros(shape):
     """All-zero array."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape):
     """All-one array."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def normal(shape, std=0.02, rng=None):
     """Gaussian initialisation with the given standard deviation."""
     rng = rng or default_rng()
-    return rng.standard_normal(shape) * std
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype(), copy=False)
 
 
 def uniform(shape, low=-0.05, high=0.05, rng=None):
     """Uniform initialisation in ``[low, high)``."""
     rng = rng or default_rng()
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def _fan_in_out(shape):
@@ -60,7 +64,7 @@ def xavier_uniform(shape, gain=1.0, rng=None):
     rng = rng or default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape, gain=1.0, rng=None):
@@ -68,7 +72,7 @@ def xavier_normal(shape, gain=1.0, rng=None):
     rng = rng or default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.standard_normal(shape) * std
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape, rng=None):
@@ -76,4 +80,4 @@ def kaiming_uniform(shape, rng=None):
     rng = rng or default_rng()
     fan_in, _ = _fan_in_out(shape)
     limit = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype(), copy=False)

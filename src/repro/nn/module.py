@@ -122,12 +122,14 @@ class Module:
             )
         for name, value in state.items():
             target = own[name]
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=target.data.dtype)
             if value.shape != target.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {target.data.shape}"
                 )
-            target.data = value.copy()
+            # Copy in place so views held elsewhere (e.g. an optimiser's flat
+            # parameter buffer) keep tracking this parameter.
+            target.data[...] = value
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..tensor import ops
 from . import init
 from .module import Module, Parameter
 
@@ -12,7 +13,9 @@ class LayerNorm(Module):
     """Layer normalisation over the trailing channel dimension.
 
     Used for the ``Norm(·)`` blocks in Eq. (5) of the paper (post-residual
-    normalisation of the attention and message-passing branches).
+    normalisation of the attention and message-passing branches).  The
+    normalise-and-affine computation runs as one fused autograd node
+    (:func:`repro.tensor.ops.layer_norm`).
     """
 
     def __init__(self, num_features, eps=1e-5):
@@ -23,10 +26,7 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros((num_features,)))
 
     def forward(self, x):
-        mean = x.mean(axis=-1, keepdims=True)
-        variance = x.var(axis=-1, keepdims=True)
-        normalised = (x - mean) / (variance + self.eps).sqrt()
-        return normalised * self.gamma + self.beta
+        return ops.layer_norm(x, self.gamma, self.beta, eps=self.eps)
 
     def __repr__(self):
         return f"LayerNorm({self.num_features})"

@@ -2,6 +2,25 @@
 
 The paper trains with Adam at 1e-3, decaying to 1e-4 at 75 % of the epochs and
 1e-5 at 90 % — :class:`MilestoneLR` reproduces that schedule.
+
+Vectorised parameter updates
+----------------------------
+By default the optimisers flatten all parameters into one contiguous buffer
+(:class:`_FlatParams`): every parameter's ``data`` becomes a view into the
+buffer, gradients accumulate into views of a matching flat gradient buffer,
+and ``step`` / ``zero_grad`` / ``clip_grad_norm`` are each a handful of
+whole-buffer numpy calls instead of a Python loop over (potentially hundreds
+of) small arrays.  ``vectorized=False`` keeps the original per-parameter loop,
+which the tests use as the reference implementation.
+
+One behavioural difference of the flat path: a parameter whose gradient was
+never populated contributes zeros to the flat gradient instead of being
+skipped entirely.  The reference loop freezes such a parameter (state and
+value untouched); the flat path treats it as ``grad = 0``, so residual Adam /
+SGD momentum keeps moving it for a while and ``weight_decay > 0`` still
+decays it.  Models in this library either use all their parameters every
+step or keep disjoint parameter sets in separate optimisers, so this does
+not change any shipped training loop.
 """
 
 from __future__ import annotations
@@ -14,31 +33,111 @@ __all__ = ["SGD", "Adam", "MilestoneLR", "clip_grad_norm"]
 def clip_grad_norm(parameters, max_norm):
     """Clip gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the norm before clipping.
+    Returns the norm before clipping.  When ``max_norm`` is ``None`` or
+    infinite, clipping is disabled: the function returns ``0.0`` immediately
+    without touching (or even reading) the gradients.
     """
+    if max_norm is None or np.isinf(max_norm):
+        return 0.0
     parameters = [p for p in parameters if p.grad is not None]
     if not parameters:
         return 0.0
-    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+    total = np.sqrt(sum(float(np.dot(p.grad.reshape(-1), p.grad.reshape(-1)))
+                        for p in parameters))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            parameter.grad *= scale
     return total
+
+
+class _FlatParams:
+    """Contiguous storage for a parameter list.
+
+    Rebinds every parameter's ``data`` to a view of one flat buffer and keeps
+    a parallel flat gradient buffer whose views are installed as the
+    parameters' ``grad`` so autograd accumulation
+    (:meth:`repro.tensor.Tensor._accumulate`) lands directly in the flat
+    storage.  Code that *reassigns* ``parameter.grad`` (rather than adding in
+    place) is tolerated: :meth:`sync_grads` folds stray arrays back into the
+    buffer before each optimiser step.
+    """
+
+    def __init__(self, parameters):
+        self.parameters = parameters
+        total = sum(p.data.size for p in parameters)
+        dtype = np.result_type(*(p.data.dtype for p in parameters))
+        self.data = np.empty(total, dtype=dtype)
+        self.grad = np.zeros(total, dtype=dtype)
+        self._views = []
+        offset = 0
+        for parameter in parameters:
+            size = parameter.data.size
+            view = self.data[offset:offset + size].reshape(parameter.data.shape)
+            view[...] = parameter.data
+            parameter.data = view
+            grad_view = self.grad[offset:offset + size].reshape(view.shape)
+            if parameter.grad is not None:
+                grad_view[...] = parameter.grad
+            parameter.grad = grad_view
+            self._views.append((parameter, grad_view))
+            offset += size
+
+    def zero_grad(self):
+        """Zero the flat gradient buffer and re-install the views."""
+        self.grad[:] = 0.0
+        for parameter, grad_view in self._views:
+            parameter.grad = grad_view
+
+    def sync_grads(self):
+        """Fold any out-of-buffer gradients back into the flat buffer.
+
+        Cheap identity checks per parameter; copies only when some caller
+        replaced ``parameter.grad`` with a fresh array (or ``None``).
+        """
+        for parameter, grad_view in self._views:
+            if parameter.grad is None:
+                grad_view[:] = 0.0
+                parameter.grad = grad_view
+            elif parameter.grad is not grad_view:
+                grad_view[...] = parameter.grad
+                parameter.grad = grad_view
+        return self.grad
+
+    def grad_norm(self):
+        """Global L2 norm of the (synchronised) flat gradient."""
+        grad = self.sync_grads()
+        return float(np.sqrt(np.dot(grad, grad)))
 
 
 class _Optimizer:
     """Shared bookkeeping for optimisers."""
 
-    def __init__(self, parameters, lr):
+    def __init__(self, parameters, lr, vectorized=True):
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
         self.lr = lr
+        self.vectorized = bool(vectorized)
+        self._flat = _FlatParams(self.parameters) if self.vectorized else None
 
     def zero_grad(self):
+        if self._flat is not None:
+            self._flat.zero_grad()
+            return
         for parameter in self.parameters:
             parameter.zero_grad()
+
+    def clip_grad_norm(self, max_norm):
+        """Whole-buffer gradient clipping; falls back to the free function."""
+        if max_norm is None or np.isinf(max_norm):
+            return 0.0
+        if self._flat is None:
+            return clip_grad_norm(self.parameters, max_norm)
+        total = self._flat.grad_norm()
+        if total > max_norm and total > 0:
+            self._flat.grad *= max_norm / total
+        return total
 
     def step(self):  # pragma: no cover - abstract
         raise NotImplementedError
@@ -47,13 +146,20 @@ class _Optimizer:
 class SGD(_Optimizer):
     """Stochastic gradient descent with optional momentum."""
 
-    def __init__(self, parameters, lr=1e-2, momentum=0.0, weight_decay=0.0):
-        super().__init__(parameters, lr)
+    def __init__(self, parameters, lr=1e-2, momentum=0.0, weight_decay=0.0,
+                 vectorized=True):
+        super().__init__(parameters, lr, vectorized=vectorized)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        if self._flat is not None:
+            self._velocity = np.zeros_like(self._flat.data)
+        else:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
+        if self._flat is not None:
+            self._step_flat()
+            return
         for parameter, velocity in zip(self.parameters, self._velocity):
             if parameter.grad is None:
                 continue
@@ -64,23 +170,45 @@ class SGD(_Optimizer):
             velocity += grad
             parameter.data = parameter.data - self.lr * velocity
 
+    def _step_flat(self):
+        grad = self._flat.sync_grads()
+        if self.weight_decay:
+            grad = grad + self.weight_decay * self._flat.data
+        self._velocity *= self.momentum
+        self._velocity += grad
+        self._flat.data -= self.lr * self._velocity
+
 
 class Adam(_Optimizer):
-    """Adam optimiser (Kingma & Ba, 2015)."""
+    """Adam optimiser (Kingma & Ba, 2015).
 
-    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
-        super().__init__(parameters, lr)
+    With ``vectorized=True`` (the default) the update runs as eight
+    whole-buffer numpy calls on the flat parameter/gradient storage; the
+    per-parameter reference loop is kept under ``vectorized=False``.
+    """
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0, vectorized=True):
+        super().__init__(parameters, lr, vectorized=vectorized)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        if self._flat is not None:
+            self._m = np.zeros_like(self._flat.data)
+            self._v = np.zeros_like(self._flat.data)
+            self._scratch = np.empty_like(self._flat.data)
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.parameters]
+            self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
+        if self._flat is not None:
+            self._step_flat(bias1, bias2)
+            return
         for parameter, m, v in zip(self.parameters, self._m, self._v):
             if parameter.grad is None:
                 continue
@@ -94,6 +222,28 @@ class Adam(_Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_flat(self, bias1, bias2):
+        grad = self._flat.sync_grads()
+        scratch = self._scratch
+        if self.weight_decay:
+            grad = grad + self.weight_decay * self._flat.data
+        # m <- beta1 m + (1 - beta1) grad
+        self._m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=scratch)
+        self._m += scratch
+        # v <- beta2 v + (1 - beta2) grad^2
+        self._v *= self.beta2
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1.0 - self.beta2
+        self._v += scratch
+        # theta <- theta - lr * (m / bias1) / (sqrt(v / bias2) + eps)
+        np.divide(self._v, bias2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.eps
+        np.divide(self._m, scratch, out=scratch)
+        scratch *= self.lr / bias1
+        self._flat.data -= scratch
 
 
 class MilestoneLR:

@@ -14,11 +14,59 @@ differences in ``tests/tensor``.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "dtype_scope",
+]
 
 _GRAD_ENABLED = [True]
+
+_DEFAULT_DTYPE = [np.dtype(np.float64)]
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype):
+    """Set the dtype used for newly created leaf tensors.
+
+    ``float64`` (the default) is required for finite-difference gradient
+    checking; ``float32`` halves the memory traffic of the training and
+    inference hot paths.  Operation *results* always follow their input
+    dtypes, so an existing graph is unaffected by changing the default.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError("default dtype must be float32 or float64")
+    _DEFAULT_DTYPE[0] = dtype
+
+
+def get_default_dtype():
+    """Return the dtype used for newly created leaf tensors."""
+    return _DEFAULT_DTYPE[0]
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype):
+    """Context manager that temporarily changes the default dtype.
+
+    Used by the imputers to run a whole ``fit()`` / ``impute()`` in
+    ``float32`` while leaving the process-wide default untouched.
+    """
+    previous = _DEFAULT_DTYPE[0]
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE[0] = previous
 
 
 class no_grad:
@@ -62,11 +110,14 @@ def _unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
-def as_tensor(value, dtype=np.float64):
-    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+def as_tensor(value, dtype=None):
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`.
+
+    ``dtype`` defaults to the library default (:func:`get_default_dtype`).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=dtype))
+    return Tensor(value, dtype=dtype)
 
 
 class Tensor:
@@ -75,18 +126,24 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` by default.
+        Array-like payload; converted to the library default dtype
+        (``float64`` unless changed with :func:`set_default_dtype`) when no
+        explicit ``dtype`` is given.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Optional explicit dtype for the payload.  Operation results bypass
+        this coercion entirely (they keep the dtype numpy computed), so the
+        default only governs *leaf* tensors.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data, requires_grad=False, _parents=(), name=None):
+    def __init__(self, data, requires_grad=False, _parents=(), name=None, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE[0])
         self.grad = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward = None
@@ -122,11 +179,16 @@ class Tensor:
 
     def detach(self):
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self):
         """Return a detached deep copy of the tensor."""
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
+
+    def astype(self, dtype):
+        """Return a detached copy cast to ``dtype``."""
+        data = self.data.astype(np.dtype(dtype))   # ndarray.astype always copies
+        return Tensor(data, requires_grad=False, dtype=data.dtype)
 
     def zero_grad(self):
         """Reset the accumulated gradient."""
@@ -144,18 +206,38 @@ class Tensor:
     # ------------------------------------------------------------------
     @classmethod
     def _from_op(cls, data, parents, backward):
+        data = np.asarray(data)
         requires = any(p.requires_grad for p in parents)
-        out = cls(data, requires_grad=requires, _parents=parents if requires else ())
+        # Pass the computed dtype through unchanged: results follow their
+        # inputs, only leaf construction applies the default dtype.
+        out = cls(data, requires_grad=requires,
+                  _parents=parents if requires else (), dtype=data.dtype)
         if requires and is_grad_enabled():
             out._backward = backward
         return out
 
+    def _coerce(self, other):
+        """Wrap a non-Tensor operand in this tensor's dtype.
+
+        Keeps scalar constants (Python floats, ``np.float64`` values such as
+        ``np.sqrt(2.0)``) from upcasting a float32 graph under NEP 50
+        promotion rules.
+        """
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other, dtype=self.data.dtype)
+
     def _accumulate(self, grad):
-        grad = np.asarray(grad, dtype=np.float64)
+        """Accumulate ``grad`` into :attr:`grad` without fresh temporaries.
+
+        The first contribution allocates the buffer (in this tensor's dtype);
+        subsequent ones add in place via ``np.add(..., out=)``, which removes
+        one full-size temporary per graph edge on the training hot path.
+        """
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = np.array(grad, dtype=self.data.dtype)
         else:
-            self.grad = self.grad + grad
+            np.add(self.grad, grad, out=self.grad)
 
     def backward(self, grad=None):
         """Backpropagate through the recorded graph starting from this node.
@@ -172,7 +254,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order over the reachable subgraph.
         topo = []
@@ -201,7 +283,7 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other):
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data + other.data
 
         def backward(grad):
@@ -215,7 +297,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other):
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data - other.data
 
         def backward(grad):
@@ -227,10 +309,10 @@ class Tensor:
         return Tensor._from_op(out_data, (self, other), backward)
 
     def __rsub__(self, other):
-        return as_tensor(other).__sub__(self)
+        return self._coerce(other).__sub__(self)
 
     def __mul__(self, other):
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data * other.data
 
         def backward(grad):
@@ -244,7 +326,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data / other.data
 
         def backward(grad):
@@ -258,7 +340,7 @@ class Tensor:
         return Tensor._from_op(out_data, (self, other), backward)
 
     def __rtruediv__(self, other):
-        return as_tensor(other).__truediv__(self)
+        return self._coerce(other).__truediv__(self)
 
     def __neg__(self):
         out_data = -self.data
@@ -285,7 +367,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other):
         """Batched matrix multiplication following numpy ``@`` semantics."""
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data @ other.data
 
         def backward(grad):
@@ -427,12 +509,12 @@ class Tensor:
                 return
             grad = np.asarray(grad)
             if axis is None:
-                mask = (self.data == out_data).astype(np.float64)
+                mask = (self.data == out_data).astype(self.data.dtype)
                 mask = mask / mask.sum()
                 self._accumulate(mask * grad)
             else:
                 expanded_out = out_data if keepdims else np.expand_dims(out_data, axis=axis)
-                mask = (self.data == expanded_out).astype(np.float64)
+                mask = (self.data == expanded_out).astype(self.data.dtype)
                 mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
                 grad_exp = grad if keepdims else np.expand_dims(grad, axis=axis)
                 self._accumulate(mask * grad_exp)

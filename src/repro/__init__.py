@@ -25,8 +25,10 @@ from .core import (
     linear_interpolation,
 )
 from .inference import InferenceEngine
+from .training import Trainer, TrainingPlan
+from .io import ArtifactError, load_model, save_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PriSTI",
@@ -34,6 +36,11 @@ __all__ = [
     "PriSTINetwork",
     "ImputationResult",
     "InferenceEngine",
+    "Trainer",
+    "TrainingPlan",
+    "ArtifactError",
+    "save_model",
+    "load_model",
     "linear_interpolation",
     "__version__",
 ]

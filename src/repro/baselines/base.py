@@ -22,11 +22,12 @@ import numpy as np
 
 from ..core.imputer import ImputationResult
 from ..data.datasets import SpatioTemporalDataset
+from ..io.artifacts import PersistableModel
 
 __all__ = ["Imputer"]
 
 
-class Imputer:
+class Imputer(PersistableModel):
     """Base class for all imputation methods."""
 
     #: Name used in result tables.

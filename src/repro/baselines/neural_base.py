@@ -24,6 +24,7 @@ from ..data.scalers import StandardScaler
 from ..data.windows import WindowSampler
 from ..nn import Adam, clip_grad_norm
 from ..tensor import Tensor, masked_mae_loss
+from ..training import Trainer, TrainingPlan
 from .base import Imputer
 
 __all__ = ["WindowedNeuralImputer"]
@@ -49,6 +50,9 @@ class WindowedNeuralImputer(Imputer):
         self.rng = np.random.default_rng(seed)
         self.scaler = StandardScaler()
         self.network = None
+        self.num_nodes = None
+        self.adjacency = None
+        self.trainer = None
         self.history = {"loss": []}
 
     # ------------------------------------------------------------------
@@ -81,45 +85,82 @@ class WindowedNeuralImputer(Imputer):
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, dataset, segment="train", verbose=False):
+    def _make_trainer(self):
+        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
+        # Train under the network's own parameter dtype (windowed models
+        # follow the ambient default at build time, unlike the diffusion
+        # family's explicit config.dtype).
+        dtype = next(self.network.parameters()).data.dtype
+        return Trainer(self, optimizer, scheduler=None,
+                       total_epochs=self.epochs, dtype=dtype)
+
+    def _training_step(self, batch, optimizer):
+        """One gradient step on a batch of windows (``None`` = skipped)."""
+        observed = batch.input_mask
+        scaled = self.scaler.transform(batch.values) * observed
+        conditional, target = self.training_mask(observed)
+        if target.sum() == 0:
+            return None
+        optimizer.zero_grad()
+        reconstruction = self.reconstruct(scaled * conditional, conditional)
+        loss = masked_mae_loss(reconstruction, Tensor(scaled), target)
+        loss = loss + 0.1 * masked_mae_loss(reconstruction, Tensor(scaled), conditional)
+        extra = self.extra_loss(reconstruction, scaled, conditional, target)
+        if extra is not None:
+            loss = loss + extra
+        loss.backward()
+        clip_grad_norm(self.network.parameters(), self.grad_clip)
+        optimizer.step()
+        return float(loss.data)
+
+    def fit(self, dataset, segment="train", verbose=False, max_epochs=None, callbacks=()):
+        """Train through the shared runtime until ``self.epochs`` total epochs.
+
+        ``max_epochs`` caps the additional epochs of this call (so training
+        can be interrupted, checkpointed via :meth:`save` and resumed);
+        ``callbacks`` are extra :class:`~repro.training.Callback` hooks.
+        Returns ``self``; the loss history lives in ``self.history``.
+        """
         super().fit(dataset, segment)
+        if self._budget_exhausted():
+            # Epoch budget exhausted: a further fit is a no-op.  Returning
+            # before the scaler refit keeps the normalisation statistics in
+            # sync with the (unchanged) weights they were trained under.
+            return self
         values, observed_mask, eval_mask = dataset.segment(segment)
         input_mask = observed_mask & ~eval_mask
         self.scaler.fit(values, input_mask)
         if self.network is None:
-            self.network = self.build_network(dataset.num_nodes, dataset.adjacency)
+            self.num_nodes = dataset.num_nodes
+            self.adjacency = np.asarray(dataset.adjacency, dtype=np.float64)
+            self.network = self.build_network(self.num_nodes, self.adjacency)
 
         sampler = WindowSampler(values, observed_mask, eval_mask, self.window_length, stride=1)
-        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
-
-        start = time.perf_counter()
-        self.network.train()
-        for epoch in range(self.epochs):
-            losses = []
-            for _ in range(self.iterations_per_epoch):
-                batch = sampler.random_batch(self.batch_size, rng=self.rng)
-                observed = batch.input_mask
-                scaled = self.scaler.transform(batch.values) * observed
-                conditional, target = self.training_mask(observed)
-                if target.sum() == 0:
-                    continue
-                optimizer.zero_grad()
-                reconstruction = self.reconstruct(scaled * conditional, conditional)
-                loss = masked_mae_loss(reconstruction, Tensor(scaled), target)
-                loss = loss + 0.1 * masked_mae_loss(reconstruction, Tensor(scaled), conditional)
-                extra = self.extra_loss(reconstruction, scaled, conditional, target)
-                if extra is not None:
-                    loss = loss + extra
-                loss.backward()
-                clip_grad_norm(self.network.parameters(), self.grad_clip)
-                optimizer.step()
-                losses.append(float(loss.data))
-            mean_loss = float(np.mean(losses)) if losses else 0.0
-            self.history["loss"].append(mean_loss)
-            if verbose:
-                print(f"[{self.name}] epoch {epoch + 1}/{self.epochs} loss={mean_loss:.4f}")
-        self.training_seconds += time.perf_counter() - start
+        trainer = self._ensure_trainer()
+        plan = TrainingPlan(
+            self.iterations_per_epoch,
+            lambda optimizer: self._training_step(
+                sampler.random_batch(self.batch_size, rng=self.rng), optimizer,
+            ),
+        )
+        trainer.fit(plan, max_epochs=max_epochs, callbacks=callbacks, verbose=verbose)
         return self
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (see repro.io)
+    # ------------------------------------------------------------------
+    def config_dict(self):
+        """JSON-able constructor kwargs; subclasses add their extras."""
+        return {
+            "window_length": self.window_length,
+            "hidden_size": self.hidden_size,
+            "epochs": self.epochs,
+            "iterations_per_epoch": self.iterations_per_epoch,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "grad_clip": self.grad_clip,
+            "seed": self.seed,
+        }
 
     # ------------------------------------------------------------------
     # Imputation

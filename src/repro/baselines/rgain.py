@@ -48,11 +48,43 @@ class RGAINImputer(WindowedNeuralImputer):
         self.discriminator = None
         self._discriminator_optimizer = None
 
+    def config_dict(self):
+        config = super().config_dict()
+        config.update(hint_rate=self.hint_rate, adversarial_weight=self.adversarial_weight)
+        return config
+
     def build_network(self, num_nodes, adjacency):
         rng = np.random.default_rng(self.seed)
         self.discriminator = _Discriminator(num_nodes, self.hidden_size, rng=rng)
         self._discriminator_optimizer = Adam(self.discriminator.parameters(), lr=self.learning_rate)
         return BRITSNetwork(num_nodes, self.hidden_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Persistence: the discriminator and its optimiser live outside the
+    # generator network, so they ride along as extra artifact arrays.
+    # ------------------------------------------------------------------
+    def _artifact_extra_arrays(self):
+        arrays = {f"discriminator.{name}": value
+                  for name, value in self.discriminator.state_dict().items()}
+        # Like the generator's optimizer state, the discriminator's moments
+        # are dead weight once the epoch budget is spent.
+        if not self._budget_exhausted():
+            for key, value in self._discriminator_optimizer.state_dict().items():
+                arrays[f"discriminator_optimizer.{key}"] = np.asarray(value)
+        return arrays
+
+    def _load_artifact_extra(self, arrays):
+        parameters, optimizer_state = {}, {}
+        for key, value in arrays.items():
+            if key.startswith("discriminator_optimizer."):
+                tail = key[len("discriminator_optimizer."):]
+                optimizer_state[tail] = value.item() if value.ndim == 0 else value
+            elif key.startswith("discriminator."):
+                parameters[key[len("discriminator."):]] = value
+        if parameters:
+            self.discriminator.load_state_dict(parameters)
+        if optimizer_state:
+            self._discriminator_optimizer.load_state_dict(optimizer_state)
 
     def reconstruct(self, values, mask):
         return self.network(values, mask)

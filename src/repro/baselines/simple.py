@@ -10,6 +10,8 @@ These correspond to the first block of Table III:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.interpolation import interpolate_series
@@ -30,6 +32,7 @@ class MeanImputer(Imputer):
 
     def fit(self, dataset, segment="train", verbose=False):
         super().fit(dataset, segment)
+        start = time.perf_counter()
         values, observed, evaluation = dataset.segment(segment)
         mask = observed & ~evaluation
         sums = (values * mask).sum(axis=0)
@@ -37,6 +40,7 @@ class MeanImputer(Imputer):
         self._global_mean = float((values * mask).sum() / max(mask.sum(), 1))
         with np.errstate(invalid="ignore"):
             self._node_means = np.where(counts > 0, sums / np.maximum(counts, 1), self._global_mean)
+        self.training_seconds += time.perf_counter() - start
         return self
 
     def _impute_matrix(self, values, input_mask, dataset):
@@ -58,6 +62,7 @@ class DailyAverageImputer(Imputer):
 
     def fit(self, dataset, segment="train", verbose=False):
         super().fit(dataset, segment)
+        start = time.perf_counter()
         values, observed, evaluation = dataset.segment(segment)
         mask = observed & ~evaluation
         steps_per_day = dataset.steps_per_day
@@ -71,6 +76,7 @@ class DailyAverageImputer(Imputer):
             counts[slot] = mask[selector].sum(axis=0)
         self._fallback = float((values * mask).sum() / max(mask.sum(), 1))
         self._slot_means = np.where(counts > 0, sums / np.maximum(counts, 1), self._fallback)
+        self.training_seconds += time.perf_counter() - start
         return self
 
     def _impute_matrix(self, values, input_mask, dataset):

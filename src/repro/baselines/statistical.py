@@ -11,6 +11,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .base import Imputer
@@ -88,6 +90,7 @@ class VARImputer(Imputer):
 
     def fit(self, dataset, segment="train", verbose=False):
         super().fit(dataset, segment)
+        start = time.perf_counter()
         values, observed, evaluation = dataset.segment(segment)
         mask = observed & ~evaluation
         self._node_means = np.where(
@@ -98,12 +101,12 @@ class VARImputer(Imputer):
         # Work on a mean-filled copy so every transition is usable.
         filled = np.where(mask, values, self._node_means)
         previous, current = filled[:-1], filled[1:]
-        num_nodes = values.shape[1]
         design = np.hstack([previous, np.ones((len(previous), 1))])
         gram = design.T @ design + self.ridge * np.eye(design.shape[1])
         solution = np.linalg.solve(gram, design.T @ current)
         self._coefficients = solution[:-1]
         self._intercept = solution[-1]
+        self.training_seconds += time.perf_counter() - start
         return self
 
     def _impute_matrix(self, values, input_mask, dataset):

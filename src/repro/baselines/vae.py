@@ -95,6 +95,11 @@ class VRINImputer(WindowedNeuralImputer):
         self.kl_weight = kl_weight
         self._last_stats = None
 
+    def config_dict(self):
+        config = super().config_dict()
+        config.update(latent_size=self.latent_size, kl_weight=self.kl_weight)
+        return config
+
     def build_network(self, num_nodes, adjacency):
         return _WindowVAE(num_nodes, self.window_length, self.hidden_size,
                           self.latent_size, rng=np.random.default_rng(self.seed))
@@ -132,6 +137,12 @@ class GPVAEImputer(WindowedNeuralImputer):
         self.kl_weight = kl_weight
         self.smoothness_weight = smoothness_weight
         self._last_stats = None
+
+    def config_dict(self):
+        config = super().config_dict()
+        config.update(latent_size=self.latent_size, kl_weight=self.kl_weight,
+                      smoothness_weight=self.smoothness_weight)
+        return config
 
     def build_network(self, num_nodes, adjacency):
         return _StepwiseVAE(num_nodes, self.hidden_size, self.latent_size,

@@ -25,8 +25,10 @@ from ..data.windows import WindowSampler
 from ..diffusion import GaussianDiffusion, make_schedule
 from ..inference import InferenceEngine
 from ..metrics import crps_from_samples, masked_mae, masked_mse, masked_rmse
+from ..io.artifacts import PersistableModel
 from ..nn import Adam, MilestoneLR
 from ..tensor import Tensor, dtype_scope, masked_mse_loss, no_grad
+from ..training import Trainer, TrainingPlan
 from .config import PriSTIConfig
 from .interpolation import linear_interpolation
 from .model import PriSTINetwork
@@ -66,7 +68,7 @@ class ImputationResult:
         }
 
 
-class ConditionalDiffusionImputer:
+class ConditionalDiffusionImputer(PersistableModel):
     """Shared training / sampling machinery for diffusion-based imputers."""
 
     #: Human-readable name used in result tables.
@@ -81,7 +83,9 @@ class ConditionalDiffusionImputer:
         self.num_nodes = None
         self.adjacency = None
         self.history = {"loss": []}
+        self.trainer = None
         self.training_seconds = 0.0
+        self.inference_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -109,8 +113,12 @@ class ConditionalDiffusionImputer:
     def _ensure_built(self, dataset):
         if self.network is not None:
             return
-        self.num_nodes = dataset.num_nodes
-        self.adjacency = np.asarray(dataset.adjacency, dtype=self.dtype)
+        self._build(dataset.num_nodes, dataset.adjacency)
+
+    def _build(self, num_nodes, adjacency):
+        """Construct the network + diffusion process for a known graph."""
+        self.num_nodes = num_nodes
+        self.adjacency = np.asarray(adjacency, dtype=self.dtype)
         # Build the network under the configured dtype so every parameter,
         # embedding table and graph support comes out in that precision.
         with dtype_scope(self.dtype):
@@ -123,23 +131,7 @@ class ConditionalDiffusionImputer:
         )
         self.diffusion = GaussianDiffusion(schedule, rng=self.rng, dtype=self.dtype)
 
-    # ------------------------------------------------------------------
-    # Training (Algorithm 1)
-    # ------------------------------------------------------------------
-    def fit(self, dataset, segment="train", verbose=False):
-        """Train the noise prediction model on a dataset split."""
-        if not isinstance(dataset, SpatioTemporalDataset):
-            raise TypeError("fit expects a SpatioTemporalDataset")
-        self._ensure_built(dataset)
-
-        values, observed_mask, eval_mask = dataset.segment(segment)
-        input_mask = observed_mask & ~eval_mask
-        self.scaler.fit(values, input_mask)
-
-        sampler = WindowSampler(
-            values, observed_mask, eval_mask, self.config.window_length, stride=1
-        )
-        strategy = MaskStrategy(self.config.mask_strategy, rng=self.rng)
+    def _make_trainer(self):
         optimizer = Adam(
             self.network.parameters(),
             lr=self.config.learning_rate,
@@ -151,27 +143,50 @@ class ConditionalDiffusionImputer:
             milestones=self.config.lr_milestones,
             gamma=self.config.lr_gamma,
         )
-        iterations = self.config.iterations_per_epoch or max(len(sampler) // self.config.batch_size, 1)
+        return Trainer(self, optimizer, scheduler,
+                       total_epochs=self.config.epochs, dtype=self.dtype)
 
-        start_time = time.perf_counter()
-        self.network.train()
-        # Leaf tensors created by the training step (noise targets, masks,
-        # loss weights) follow the configured dtype.
-        with dtype_scope(self.dtype):
-            for epoch in range(self.config.epochs):
-                epoch_losses = []
-                for _ in range(iterations):
-                    batch = sampler.random_batch(self.config.batch_size, rng=self.rng)
-                    loss = self._training_step(batch, strategy, optimizer)
-                    epoch_losses.append(loss)
-                scheduler.step()
-                mean_loss = float(np.mean(epoch_losses))
-                self.history["loss"].append(mean_loss)
-                if verbose:
-                    print(f"[{self.name}] epoch {epoch + 1}/{self.config.epochs} "
-                          f"loss={mean_loss:.4f} lr={scheduler.current_lr:.2e}")
-        self.training_seconds += time.perf_counter() - start_time
-        return self.history
+    # ------------------------------------------------------------------
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def fit(self, dataset, segment="train", verbose=False, max_epochs=None, callbacks=()):
+        """Train the noise prediction model on a dataset split.
+
+        Training runs through the shared :class:`~repro.training.Trainer`
+        until ``config.epochs`` total epochs are reached, so a model restored
+        from a checkpoint (see :mod:`repro.io`) resumes where it stopped.
+        ``max_epochs`` caps the additional epochs of this call; ``callbacks``
+        are extra :class:`~repro.training.Callback` hooks.  Returns ``self``
+        (the loss history lives in ``self.history``).
+        """
+        if not isinstance(dataset, SpatioTemporalDataset):
+            raise TypeError("fit expects a SpatioTemporalDataset")
+        self._ensure_built(dataset)
+        if self._budget_exhausted():
+            # Epoch budget exhausted: a further fit is a no-op.  Returning
+            # before the scaler refit keeps the normalisation statistics in
+            # sync with the (unchanged) weights they were trained under.
+            return self
+
+        values, observed_mask, eval_mask = dataset.segment(segment)
+        input_mask = observed_mask & ~eval_mask
+        self.scaler.fit(values, input_mask)
+
+        sampler = WindowSampler(
+            values, observed_mask, eval_mask, self.config.window_length, stride=1
+        )
+        strategy = MaskStrategy(self.config.mask_strategy, rng=self.rng)
+        trainer = self._ensure_trainer()
+        iterations = self.config.iterations_per_epoch or max(len(sampler) // self.config.batch_size, 1)
+        plan = TrainingPlan(
+            iterations,
+            lambda optimizer: self._training_step(
+                sampler.random_batch(self.config.batch_size, rng=self.rng),
+                strategy, optimizer,
+            ),
+        )
+        trainer.fit(plan, max_epochs=max_epochs, callbacks=callbacks, verbose=verbose)
+        return self
 
     def _training_step(self, batch, strategy, optimizer):
         """One gradient step on a batch of windows."""

@@ -11,6 +11,7 @@ from .configs import (
     build_pristi_config,
 )
 from .runner import (
+    train_method,
     evaluate_method,
     run_imputation_benchmark,
     run_crps_benchmark,
@@ -34,6 +35,7 @@ __all__ = [
     "build_dataset",
     "build_method",
     "build_pristi_config",
+    "train_method",
     "evaluate_method",
     "run_imputation_benchmark",
     "run_crps_benchmark",

@@ -9,7 +9,7 @@ whose rows/columns mirror the paper's layout.  The benchmark scripts under
 
 from __future__ import annotations
 
-import time
+import hashlib
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from ..core import PriSTI
 from ..data.missing import inject_block_missing, inject_point_missing, mask_sensors
 from ..forecasting import ForecastingTask
 from ..graph.adjacency import node_connectivity
+from ..io import default_artifact_cache, supports_persistence
 from ..metrics import ResultTable, crps_from_samples, masked_mae
 from .configs import (
     DEEP_METHODS,
@@ -30,6 +31,7 @@ from .configs import (
 from .profiles import get_profile
 
 __all__ = [
+    "train_method",
     "evaluate_method",
     "run_imputation_benchmark",
     "run_crps_benchmark",
@@ -42,28 +44,82 @@ __all__ = [
 ]
 
 
+def _dataset_fingerprint(dataset):
+    """Content hash folding the actual training data into the cache key.
+
+    The coordinate key ``(method, dataset, pattern, profile, seed)`` only
+    *names* the data; a custom or modified dataset passed under the same
+    coordinates (e.g. with ``REPRO_ARTIFACT_CACHE`` exported globally) must
+    not collide with a cached model trained on different values.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for array in (dataset.values, dataset.observed_mask, dataset.eval_mask,
+                  dataset.adjacency):
+        array = np.ascontiguousarray(array)
+        digest.update(str((array.shape, array.dtype.str)).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def train_method(name, dataset, profile=None, dataset_name="metr-la", pattern="block",
+                 seed=0, cache=None, variant=None):
+    """Build and fit one method, consulting the train-once artifact cache.
+
+    The cache key is ``(method, dataset, pattern, profile, seed)`` plus a
+    content fingerprint of the dataset itself (and an optional free-form
+    ``variant`` label); a hit restores the trained model from disk —
+    bit-identical, with its recorded ``training_seconds`` — instead of
+    retraining.  A cached artifact whose stored configuration no longer
+    matches the profile (the cache's ``expected=`` staleness guard) is
+    treated as a miss and overwritten.  ``cache`` defaults to the
+    ``REPRO_ARTIFACT_CACHE`` environment variable (off when unset).
+    """
+    profile = profile or get_profile()
+    if cache is None:
+        cache = default_artifact_cache()
+    method = build_method(name, profile, dataset_name=dataset_name, pattern=pattern, seed=seed)
+    if cache is not None and not supports_persistence(method):
+        # Never-persistable (statistical) methods skip the cache outright —
+        # no dataset hashing, no guaranteed-miss probe.
+        cache = None
+    if cache is not None:
+        fingerprint = _dataset_fingerprint(dataset)
+        cached = cache.load(name, dataset_name, pattern, profile.name, seed,
+                            variant=variant, fingerprint=fingerprint, expected=method)
+        if cached is not None:
+            return cached
+    method.fit(dataset)
+    if cache is not None:
+        cache.store(method, name, dataset_name, pattern, profile.name, seed,
+                    variant=variant, fingerprint=fingerprint)
+    return method
+
+
 def evaluate_method(name, dataset, profile=None, dataset_name="metr-la", pattern="block",
-                    num_samples=None, seed=0):
-    """Train one method on a dataset and return its test metrics + timings."""
+                    num_samples=None, seed=0, cache=None):
+    """Train one method on a dataset and return its test metrics + timings.
+
+    Timings are the *model-owned* timers (``method.training_seconds`` /
+    ``method.inference_seconds``): training wall-clock is accumulated by the
+    shared :class:`~repro.training.Trainer` (and survives artifact round
+    trips), so there is no second external stopwatch to drift from it.
+    """
     profile = profile or get_profile()
     num_samples = num_samples or profile.num_samples
-    method = build_method(name, profile, dataset_name=dataset_name, pattern=pattern, seed=seed)
-    start = time.perf_counter()
-    method.fit(dataset)
-    training_seconds = time.perf_counter() - start
-    start = time.perf_counter()
+    method = train_method(name, dataset, profile, dataset_name=dataset_name,
+                          pattern=pattern, seed=seed, cache=cache)
     result = method.impute(dataset, segment="test", num_samples=num_samples)
-    inference_seconds = time.perf_counter() - start
     metrics = result.metrics()
-    metrics["training_seconds"] = training_seconds
-    metrics["inference_seconds"] = inference_seconds
+    metrics["training_seconds"] = method.training_seconds
+    metrics["inference_seconds"] = method.inference_seconds
     return metrics, result
 
 
 # ----------------------------------------------------------------------
 # Table III — deterministic imputation errors
 # ----------------------------------------------------------------------
-def run_imputation_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False):
+def run_imputation_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False,
+                             cache=None):
     """MAE / MSE of every method on every dataset+pattern (Table III)."""
     profile = profile or get_profile()
     methods = methods or TABLE3_METHODS
@@ -74,7 +130,7 @@ def run_imputation_benchmark(methods=None, grid=None, profile=None, seed=0, verb
         for method_name in methods:
             metrics, _ = evaluate_method(
                 method_name, dataset, profile,
-                dataset_name=dataset_name, pattern=pattern, seed=seed,
+                dataset_name=dataset_name, pattern=pattern, seed=seed, cache=cache,
             )
             table.add(method_name, f"{dataset_name}/{pattern}/MAE", metrics["mae"])
             table.add(method_name, f"{dataset_name}/{pattern}/MSE", metrics["mse"])
@@ -87,7 +143,8 @@ def run_imputation_benchmark(methods=None, grid=None, profile=None, seed=0, verb
 # ----------------------------------------------------------------------
 # Table IV — CRPS of the probabilistic methods
 # ----------------------------------------------------------------------
-def run_crps_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False):
+def run_crps_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=False,
+                       cache=None):
     """CRPS of the probabilistic methods (Table IV)."""
     profile = profile or get_profile()
     methods = methods or PROBABILISTIC_METHODS
@@ -98,7 +155,7 @@ def run_crps_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=Fa
         for method_name in methods:
             metrics, _ = evaluate_method(
                 method_name, dataset, profile,
-                dataset_name=dataset_name, pattern=pattern, seed=seed,
+                dataset_name=dataset_name, pattern=pattern, seed=seed, cache=cache,
             )
             table.add(method_name, f"{dataset_name}/{pattern}/CRPS", metrics["crps"])
             if verbose:
@@ -110,7 +167,7 @@ def run_crps_benchmark(methods=None, grid=None, profile=None, seed=0, verbose=Fa
 # Table V — downstream forecasting on imputed AQI data
 # ----------------------------------------------------------------------
 def run_downstream_forecasting(methods=("BRITS", "GRIN", "CSDI", "PriSTI"), profile=None,
-                               seed=0, verbose=False):
+                               seed=0, verbose=False, cache=None):
     """Impute the air-quality dataset and train a forecaster on the result."""
     profile = profile or get_profile()
     dataset = build_dataset("aqi36", "failure", profile, seed=seed)
@@ -137,8 +194,8 @@ def run_downstream_forecasting(methods=("BRITS", "GRIN", "CSDI", "PriSTI"), prof
         print(f"Ori.      MAE={metrics['mae']:.3f} RMSE={metrics['rmse']:.3f}")
 
     for method_name in methods:
-        method = build_method(method_name, profile, dataset_name="aqi36", pattern="failure", seed=seed)
-        method.fit(dataset)
+        method = train_method(method_name, dataset, profile, dataset_name="aqi36",
+                              pattern="failure", seed=seed, cache=cache)
         # Impute the *entire* dataset (all splits) before forecasting.
         pieces = [method.impute(dataset, segment=segment, num_samples=max(profile.num_samples // 2, 1)).median
                   for segment in ("train", "valid", "test")]
@@ -179,7 +236,7 @@ def run_ablation_study(variants=("mix-STI", "w/o CF", "w/o spa", "w/o tem", "w/o
 # ----------------------------------------------------------------------
 def run_missing_rate_sweep(methods=("BRITS", "GRIN", "CSDI", "PriSTI"),
                            rates=(0.1, 0.3, 0.5, 0.7, 0.9), pattern="point",
-                           profile=None, seed=0, verbose=False):
+                           profile=None, seed=0, verbose=False, cache=None):
     """MAE of the strongest methods as the test missing rate grows (Fig. 5).
 
     Each method is trained once on the standard METR-LA-like dataset and then
@@ -187,14 +244,13 @@ def run_missing_rate_sweep(methods=("BRITS", "GRIN", "CSDI", "PriSTI"),
     """
     profile = profile or get_profile()
     dataset = build_dataset("metr-la", pattern, profile, seed=seed)
-    rng = np.random.default_rng(seed + 100)
 
-    # Pre-train every method once.
+    # Pre-train every method once (artifact-cache aware).
     trained = {}
     for method_name in methods:
-        method = build_method(method_name, profile, dataset_name="metr-la", pattern=pattern, seed=seed)
-        method.fit(dataset)
-        trained[method_name] = method
+        trained[method_name] = train_method(method_name, dataset, profile,
+                                            dataset_name="metr-la", pattern=pattern,
+                                            seed=seed, cache=cache)
 
     table = ResultTable(title=f"Figure 5 — MAE vs missing rate (METR-LA-like, {pattern})")
     for rate in rates:
@@ -221,7 +277,8 @@ def run_missing_rate_sweep(methods=("BRITS", "GRIN", "CSDI", "PriSTI"),
 # ----------------------------------------------------------------------
 # Figure 7 — imputation for completely unobserved sensors
 # ----------------------------------------------------------------------
-def run_sensor_failure(methods=("GRIN", "PriSTI"), profile=None, seed=0, verbose=False):
+def run_sensor_failure(methods=("GRIN", "PriSTI"), profile=None, seed=0, verbose=False,
+                       cache=None):
     """Hide the most- and least-connected sensors entirely and impute them."""
     profile = profile or get_profile()
     dataset = build_dataset("aqi36", "failure", profile, seed=seed)
@@ -234,8 +291,11 @@ def run_sensor_failure(methods=("GRIN", "PriSTI"), profile=None, seed=0, verbose
         observed, eval_mask = mask_sensors(dataset.observed_mask, [station])
         failed = dataset.with_eval_mask(eval_mask | dataset.eval_mask)
         for method_name in methods:
-            method = build_method(method_name, profile, dataset_name="aqi36", pattern="failure", seed=seed)
-            method.fit(failed)
+            # The training data differs per masked station, so the station
+            # index is part of the cache key.
+            method = train_method(method_name, failed, profile, dataset_name="aqi36",
+                                  pattern="failure", seed=seed, cache=cache,
+                                  variant=f"station{station}")
             result = method.impute(failed, segment="test",
                                    num_samples=max(profile.num_samples // 2, 1))
             # Score only the failed station's entries within the test split.
@@ -290,8 +350,12 @@ def run_hyperparameter_sweep(profile=None, seed=0, verbose=False,
 # Figure 9 — training and inference time
 # ----------------------------------------------------------------------
 def run_time_costs(methods=DEEP_METHODS, datasets=(("aqi36", "failure"), ("metr-la", "block")),
-                   profile=None, seed=0, verbose=False):
-    """Wall-clock training / inference time of the deep methods (Fig. 9)."""
+                   profile=None, seed=0, verbose=False, cache=None):
+    """Wall-clock training / inference time of the deep methods (Fig. 9).
+
+    Times are the model-owned timers, which persist inside artifacts — so a
+    cache hit still reports the original training cost instead of zero.
+    """
     profile = profile or get_profile()
     table = ResultTable(title="Figure 9 — time costs (seconds)")
     for dataset_name, pattern in datasets:
@@ -300,7 +364,7 @@ def run_time_costs(methods=DEEP_METHODS, datasets=(("aqi36", "failure"), ("metr-
             metrics, _ = evaluate_method(
                 method_name, dataset, profile,
                 dataset_name=dataset_name, pattern=pattern, seed=seed,
-                num_samples=max(profile.num_samples // 2, 1),
+                num_samples=max(profile.num_samples // 2, 1), cache=cache,
             )
             table.add(method_name, f"{dataset_name}/train-s", metrics["training_seconds"])
             table.add(method_name, f"{dataset_name}/infer-s", metrics["inference_seconds"])

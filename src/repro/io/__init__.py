@@ -1,0 +1,30 @@
+"""Model-artifact persistence: versioned save/load + train-once caching.
+
+``model.save(path)`` writes a directory artifact (``manifest.json`` +
+``arrays.npz``); :func:`load_model` restores a bit-identical imputer in a
+fresh process — same imputations, and ``fit`` resumes any remaining training
+epochs exactly.  See :mod:`repro.io.artifacts` for the format and the
+versioning policy, and :class:`ArtifactCache` for the experiment harness's
+train-once cache.
+"""
+
+from .artifacts import (
+    ArtifactError,
+    PersistableModel,
+    SCHEMA_VERSION,
+    load_model,
+    save_model,
+    supports_persistence,
+)
+from .cache import ArtifactCache, default_artifact_cache
+
+__all__ = [
+    "ArtifactError",
+    "PersistableModel",
+    "SCHEMA_VERSION",
+    "save_model",
+    "load_model",
+    "supports_persistence",
+    "ArtifactCache",
+    "default_artifact_cache",
+]

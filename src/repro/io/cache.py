@@ -1,0 +1,127 @@
+"""Train-once artifact cache for the experiment harness.
+
+Sweeps that reuse a trained model (downstream forecasting, time-costs,
+sensor-failure, missing-rate) historically retrained every method from
+scratch per table.  :class:`ArtifactCache` keys a saved artifact by the
+experiment coordinates ``(method, dataset, pattern, profile, seed)`` — plus
+an optional free-form ``variant`` label and a content ``fingerprint`` of the
+actual training data — so a model trained for one table is loaded back
+(bit-identical, including its recorded ``training_seconds``) instead of
+retrained by the next.
+
+The cache is opt-in: pass a cache to the runner functions explicitly, or set
+the ``REPRO_ARTIFACT_CACHE`` environment variable to a directory to enable it
+globally (see :func:`default_artifact_cache`).  Methods without artifact
+support (the statistical baselines) silently bypass the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict
+
+from .artifacts import (
+    ArtifactError,
+    _read_manifest,
+    load_model,
+    save_model,
+    supports_persistence,
+)
+
+__all__ = ["ArtifactCache", "default_artifact_cache"]
+
+#: Environment variable that switches the cache on for the runners.
+CACHE_ENV_VAR = "REPRO_ARTIFACT_CACHE"
+
+
+def _slug(part):
+    """File-system-safe key component."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", str(part))
+
+
+def _manifest_config(model):
+    """The (JSON-normalised) config ``model`` would be saved with.
+
+    Mirrors how :func:`~repro.io.artifacts.save_model` serialises each
+    family's configuration, so it compares equal to a stored
+    ``manifest["config"]`` exactly when the model was built the same way
+    (JSON round-trip turns tuples into lists etc.).
+    """
+    if hasattr(model, "config_dict"):          # windowed neural family
+        config = model.config_dict()
+    elif hasattr(model, "config"):             # diffusion family
+        config = asdict(model.config)
+    else:
+        return None
+    return json.loads(json.dumps(config))
+
+
+class ArtifactCache:
+    """Directory of model artifacts keyed by experiment coordinates."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def key(self, method, dataset_name, pattern, profile_name, seed, variant=None,
+            fingerprint=None):
+        parts = [method, dataset_name, pattern, profile_name, f"seed{seed}"]
+        if variant is not None:
+            parts.append(variant)
+        if fingerprint is not None:
+            # Content hash of the actual training data: the coordinates only
+            # *name* the dataset, so a custom or modified dataset passed
+            # under the same name must not collide with a cached model
+            # trained on different values.
+            parts.append(f"data{fingerprint}")
+        return "__".join(_slug(part) for part in parts)
+
+    def path(self, *key_parts, **key_kwargs):
+        return os.path.join(self.root, self.key(*key_parts, **key_kwargs))
+
+    def load(self, *key_parts, expected=None, **key_kwargs):
+        """Return the cached model, or ``None`` on miss / stale format.
+
+        ``expected`` (a freshly built, unfitted model) guards against a
+        profile whose hyperparameters changed under an unchanged name: the
+        cache key only carries the profile *name*, so a hit must also match
+        the expected model's class and configuration or it is stale.  The
+        check reads only the manifest, so a stale artifact is rejected
+        without the cost of reconstructing its network.
+        """
+        path = self.path(*key_parts, **key_kwargs)
+        if not os.path.isdir(path):
+            return None
+        try:
+            if expected is not None:
+                manifest = _read_manifest(path)
+                if manifest.get("model_class") != type(expected).__name__:
+                    return None
+                if manifest.get("config") != _manifest_config(expected):
+                    return None
+            return load_model(path)
+        except ArtifactError:
+            # Stale or incompatible artifact: treat as a miss and retrain.
+            return None
+
+    def store(self, model, *key_parts, **key_kwargs):
+        """Persist ``model``; unsupported families are silently skipped.
+
+        Only the never-persistable families are skipped — a genuine write
+        failure (unwritable cache root, key colliding with a plain file)
+        propagates, because silently disabling the cache would retrain every
+        sweep from scratch with no signal to the operator.
+        """
+        if not supports_persistence(model):
+            return None
+        return save_model(model, self.path(*key_parts, **key_kwargs))
+
+
+def default_artifact_cache():
+    """Cache configured via ``REPRO_ARTIFACT_CACHE``, or ``None`` when unset."""
+    root = os.environ.get(CACHE_ENV_VAR)
+    if not root:
+        return None
+    return ArtifactCache(root)

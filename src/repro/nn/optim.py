@@ -142,6 +142,58 @@ class _Optimizer:
     def step(self):  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialisation helpers shared by the concrete optimisers
+    # ------------------------------------------------------------------
+    def _buffer_state(self, buffers):
+        """Copy named moment buffers into a state dict.
+
+        ``buffers`` maps a name (e.g. ``"m"``) to either one flat array
+        (vectorised path) or a list of per-parameter arrays; the reference
+        path stores list entries under ``"<name>.<index>"``.
+        """
+        state = {"lr": float(self.lr)}
+        for name, value in buffers.items():
+            if isinstance(value, np.ndarray):
+                state[name] = value.copy()
+            else:
+                for index, array in enumerate(value):
+                    state[f"{name}.{index}"] = array.copy()
+        return state
+
+    def _load_buffer_state(self, state, buffers):
+        """Restore moment buffers in place (inverse of :meth:`_buffer_state`)."""
+        self.lr = float(state["lr"])
+        for name, value in buffers.items():
+            if isinstance(value, np.ndarray):
+                if name not in state:
+                    raise ValueError(
+                        f"optimizer state is missing buffer '{name}' — it was saved "
+                        "from an optimizer with a different 'vectorized' setting"
+                    )
+                source = np.asarray(state[name])
+                if source.shape != value.shape:
+                    raise ValueError(
+                        f"optimizer buffer '{name}' has shape {source.shape}, "
+                        f"expected {value.shape}"
+                    )
+                value[...] = source
+            else:
+                for index, array in enumerate(value):
+                    key = f"{name}.{index}"
+                    if key not in state:
+                        raise ValueError(
+                            f"optimizer state is missing buffer '{key}' — it was saved "
+                            "from an optimizer with a different 'vectorized' setting"
+                        )
+                    source = np.asarray(state[key])
+                    if source.shape != array.shape:
+                        raise ValueError(
+                            f"optimizer buffer '{key}' has shape {source.shape}, "
+                            f"expected {array.shape}"
+                        )
+                    array[...] = source
+
 
 class SGD(_Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -177,6 +229,13 @@ class SGD(_Optimizer):
         self._velocity *= self.momentum
         self._velocity += grad
         self._flat.data -= self.lr * self._velocity
+
+    def state_dict(self):
+        """Momentum buffers + learning rate (see :meth:`_Optimizer._buffer_state`)."""
+        return self._buffer_state({"velocity": self._velocity})
+
+    def load_state_dict(self, state):
+        self._load_buffer_state(state, {"velocity": self._velocity})
 
 
 class Adam(_Optimizer):
@@ -245,6 +304,16 @@ class Adam(_Optimizer):
         scratch *= self.lr / bias1
         self._flat.data -= scratch
 
+    def state_dict(self):
+        """Adam moments, step counter and learning rate."""
+        state = self._buffer_state({"m": self._m, "v": self._v})
+        state["step"] = int(self._step)
+        return state
+
+    def load_state_dict(self, state):
+        self._load_buffer_state(state, {"m": self._m, "v": self._v})
+        self._step = int(state["step"])
+
 
 class MilestoneLR:
     """Multiplicative learning-rate decay at fractional milestones.
@@ -270,3 +339,10 @@ class MilestoneLR:
     @property
     def current_lr(self):
         return self.optimizer.lr
+
+    def state_dict(self):
+        """Scheduler position (the learning rate itself lives in the optimiser)."""
+        return {"epoch": int(self._epoch)}
+
+    def load_state_dict(self, state):
+        self._epoch = int(state["epoch"])

@@ -1,0 +1,19 @@
+"""Unified training runtime shared by every trainable imputer.
+
+:class:`Trainer` owns the epoch/iteration loop, the optimiser, the LR
+scheduler, the dtype scope and wall-clock accounting; models contribute a
+:class:`TrainingPlan` (batch sampling + one gradient step).  Callbacks hook
+into epoch boundaries for logging, early stopping and periodic checkpointing.
+"""
+
+from .trainer import Trainer, TrainingPlan
+from .callbacks import Callback, Checkpoint, EarlyStopping, LossLogger
+
+__all__ = [
+    "Trainer",
+    "TrainingPlan",
+    "Callback",
+    "Checkpoint",
+    "EarlyStopping",
+    "LossLogger",
+]

@@ -1,0 +1,87 @@
+"""Callbacks for the shared :class:`~repro.training.Trainer`.
+
+The callback protocol is deliberately tiny: ``on_train_begin(trainer)``,
+``on_epoch_end(trainer, epoch, loss)`` and ``on_train_end(trainer)``.  A
+callback stops training early by calling ``trainer.request_stop()``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Callback", "LossLogger", "EarlyStopping", "Checkpoint"]
+
+
+class Callback:
+    """No-op base class; subclass and override the hooks you need."""
+
+    def on_train_begin(self, trainer):
+        pass
+
+    def on_epoch_end(self, trainer, epoch, loss):
+        pass
+
+    def on_train_end(self, trainer):
+        pass
+
+
+class LossLogger(Callback):
+    """Per-epoch loss (and learning-rate) logging.
+
+    Reproduces the ``verbose=True`` output of the pre-Trainer ``fit`` loops:
+    the learning rate is shown only when the trainer has an LR scheduler.
+    """
+
+    def __init__(self, name="model", print_fn=print):
+        self.name = name
+        self.print_fn = print_fn
+
+    def on_epoch_end(self, trainer, epoch, loss):
+        message = f"[{self.name}] epoch {epoch}/{trainer.total_epochs} loss={loss:.4f}"
+        if trainer.scheduler is not None:
+            message += f" lr={trainer.current_lr:.2e}"
+        self.print_fn(message)
+
+
+class EarlyStopping(Callback):
+    """Stop when the epoch loss has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience=5, min_delta=0.0):
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = None
+        self.stale_epochs = 0
+
+    def on_epoch_end(self, trainer, epoch, loss):
+        if self.best is None or loss < self.best - self.min_delta:
+            self.best = loss
+            self.stale_epochs = 0
+            return
+        self.stale_epochs += 1
+        if self.stale_epochs >= self.patience:
+            trainer.request_stop()
+
+
+class Checkpoint(Callback):
+    """Periodically persist the model as an on-disk artifact.
+
+    Writes to the same ``path`` every time (latest-wins), so an interrupted
+    run can be resumed from the most recent epoch boundary via
+    :func:`repro.io.load_model`.
+    """
+
+    def __init__(self, path, every=1):
+        if every < 1:
+            raise ValueError("checkpoint frequency must be at least 1 epoch")
+        self.path = path
+        self.every = int(every)
+
+    def on_epoch_end(self, trainer, epoch, loss):
+        if epoch % self.every == 0:
+            trainer.model.save(self.path)
+
+    def on_train_end(self, trainer):
+        # Always leave a checkpoint for the final epoch, even when it does
+        # not align with ``every`` (e.g. early stopping).
+        if trainer.epochs_completed % self.every != 0:
+            trainer.model.save(self.path)

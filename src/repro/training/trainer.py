@@ -1,0 +1,199 @@
+"""Shared training runtime for every trainable imputer.
+
+Historically :class:`~repro.core.imputer.ConditionalDiffusionImputer` and
+:class:`~repro.baselines.neural_base.WindowedNeuralImputer` each carried their
+own hand-rolled epoch loop.  The :class:`Trainer` here owns the loop once and
+for all — epochs, iterations, optimiser stepping, LR scheduling, the dtype
+scope, wall-clock accounting and a callback protocol — while the models only
+contribute a :class:`TrainingPlan`: how to sample a batch and compute one
+gradient step.
+
+A Trainer is created once per model (at the first ``fit``) and persists across
+``fit`` calls, so its optimiser / scheduler / epoch counter survive and
+training can be *resumed*: ``fit`` trains until ``total_epochs`` is reached,
+and a model restored from an on-disk artifact (see :mod:`repro.io`) picks up
+exactly where it stopped.  :meth:`Trainer.state_dict` /
+:meth:`Trainer.load_state_dict` capture the optimiser moments, scheduler
+position and epoch counter needed for a checkpoint-resumed run to reproduce an
+uninterrupted one bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..tensor import dtype_scope
+from .callbacks import LossLogger
+
+__all__ = ["TrainingPlan", "Trainer"]
+
+
+class TrainingPlan:
+    """Per-``fit`` adapter between a model and the shared :class:`Trainer`.
+
+    Parameters
+    ----------
+    iterations:
+        Gradient steps per epoch.
+    step:
+        Callable ``step(optimizer) -> float | None`` that samples a batch,
+        computes the loss, runs backward and steps the optimiser.  Returning
+        ``None`` marks the iteration as skipped (it does not enter the epoch's
+        mean loss); returning a float records it.
+    """
+
+    def __init__(self, iterations, step):
+        self.iterations = int(iterations)
+        if self.iterations < 1:
+            raise ValueError("a training plan needs at least one iteration per epoch")
+        self._step = step
+
+    def training_step(self, optimizer):
+        """Run one gradient step; returns the loss (or ``None`` if skipped)."""
+        return self._step(optimizer)
+
+
+class Trainer:
+    """Epoch/iteration loop shared by the diffusion and windowed imputers.
+
+    The trainer owns the optimiser, the (optional) LR scheduler, the dtype
+    scope and the epoch counter; the model owns the network, the RNG streams
+    and the loss history (``model.history["loss"]``, one entry per epoch).
+    Wall-clock spent inside :meth:`fit` accumulates into
+    ``model.training_seconds`` — the single authoritative training timer.
+    """
+
+    def __init__(self, model, optimizer, scheduler=None, total_epochs=0,
+                 dtype=np.float64, callbacks=()):
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.total_epochs = int(total_epochs)
+        self.dtype = np.dtype(dtype)
+        self.callbacks = list(callbacks)
+        self.epochs_completed = 0
+        self.stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def history(self):
+        """The owning model's loss history."""
+        return self.model.history
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr
+
+    @property
+    def budget_exhausted(self):
+        """Whether every epoch of the training budget has been spent."""
+        return self.epochs_completed >= self.total_epochs
+
+    @property
+    def finished(self):
+        """Whether the training budget is exhausted (or a callback stopped it)."""
+        return self.stop_requested or self.budget_exhausted
+
+    def request_stop(self):
+        """Ask the loop to stop after the current epoch (used by callbacks)."""
+        self.stop_requested = True
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def fit(self, plan, max_epochs=None, callbacks=(), verbose=False):
+        """Run the epoch loop for ``plan`` until the budget is exhausted.
+
+        ``max_epochs`` caps how many *additional* epochs this call may run
+        (still bounded by ``total_epochs``), which is how interruptible
+        training is expressed: ``fit(plan, max_epochs=E)`` → checkpoint →
+        resume with another ``fit`` call.  ``verbose`` adds a
+        :class:`~repro.training.LossLogger` named after the model.
+        """
+        # A stop request is scoped to one fit call: an early-stopped (or
+        # checkpoint-restored) model trains its remaining epochs when fit
+        # is called again.
+        self.stop_requested = False
+        target = self.total_epochs
+        if max_epochs is not None:
+            target = min(target, self.epochs_completed + int(max_epochs))
+        active = self.callbacks + list(callbacks)
+        if verbose:
+            active.append(LossLogger(self.model.name))
+
+        start_time = time.perf_counter()
+        try:
+            for callback in active:
+                callback.on_train_begin(self)
+            self.model.network.train()
+            # Leaf tensors created by the training steps (noise targets,
+            # masks, loss weights) follow the configured dtype.
+            with dtype_scope(self.dtype):
+                while self.epochs_completed < target and not self.stop_requested:
+                    losses = []
+                    for _ in range(plan.iterations):
+                        loss = plan.training_step(self.optimizer)
+                        if loss is not None:
+                            losses.append(loss)
+                    if self.scheduler is not None:
+                        self.scheduler.step()
+                    mean_loss = float(np.mean(losses)) if losses else 0.0
+                    self.epochs_completed += 1
+                    self.history["loss"].append(mean_loss)
+                    # Fold the elapsed time in at every epoch boundary,
+                    # *before* the callbacks run, so a mid-fit checkpoint
+                    # persists an up-to-date training timer.
+                    now = time.perf_counter()
+                    self.model.training_seconds += now - start_time
+                    start_time = now
+                    for callback in active:
+                        callback.on_epoch_end(self, self.epochs_completed, mean_loss)
+            for callback in active:
+                callback.on_train_end(self)
+        finally:
+            # Remaining tail: callback overhead after the last epoch (or a
+            # partial epoch cut short by an exception).
+            self.model.training_seconds += time.perf_counter() - start_time
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialisation (consumed by repro.io)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Everything needed to resume training exactly where it stopped.
+
+        Numpy arrays (optimiser moments) stay arrays; the artifact layer
+        splits them from the JSON-able scalars.
+        """
+        # stop_requested is deliberately NOT serialised: it is scoped to one
+        # fit call (fit resets it on entry), so a persisted value could never
+        # be observed.
+        return {
+            "epochs_completed": int(self.epochs_completed),
+            "total_epochs": int(self.total_epochs),
+            "optimizer_type": type(self.optimizer).__name__,
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": self.scheduler.state_dict() if self.scheduler is not None else None,
+        }
+
+    def load_state_dict(self, state):
+        # An artifact of a budget-exhausted model drops the optimizer state
+        # (it can never train again), leaving only the epoch counters.
+        if state["optimizer"] is not None:
+            if state.get("optimizer_type") != type(self.optimizer).__name__:
+                raise ValueError(
+                    f"trainer state was saved for a {state.get('optimizer_type')} optimiser, "
+                    f"but this trainer uses {type(self.optimizer).__name__}"
+                )
+            self.optimizer.load_state_dict(state["optimizer"])
+        self.epochs_completed = int(state["epochs_completed"])
+        self.total_epochs = int(state["total_epochs"])
+        if state["scheduler"] is not None:
+            if self.scheduler is None:
+                raise ValueError("trainer state contains a scheduler but this trainer has none")
+            self.scheduler.load_state_dict(state["scheduler"])
+        return self

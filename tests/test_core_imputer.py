@@ -14,11 +14,12 @@ def _fast_config(**overrides):
 
 
 class TestFitAndImpute:
-    def test_fit_records_history(self, tiny_traffic_dataset):
+    def test_fit_returns_self_and_records_history(self, tiny_traffic_dataset):
         model = PriSTI(_fast_config())
-        history = model.fit(tiny_traffic_dataset)
-        assert len(history["loss"]) == 2
-        assert all(np.isfinite(loss) for loss in history["loss"])
+        returned = model.fit(tiny_traffic_dataset)
+        assert returned is model
+        assert len(model.history["loss"]) == 2
+        assert all(np.isfinite(loss) for loss in model.history["loss"])
 
     def test_impute_before_fit_raises(self, tiny_traffic_dataset):
         with pytest.raises(RuntimeError):
@@ -91,5 +92,5 @@ class TestFitAndImpute:
         for strategy in ("point", "block", "hybrid", "hybrid-historical"):
             config = _fast_config(mask_strategy=strategy, epochs=1, iterations_per_epoch=1)
             model = PriSTI(config)
-            history = model.fit(tiny_air_dataset)
-            assert len(history["loss"]) == 1
+            model.fit(tiny_air_dataset)
+            assert len(model.history["loss"]) == 1

@@ -355,8 +355,8 @@ class TestDtypePropagation:
             dtype="float32",
         )
         model = PriSTI(config)
-        history = model.fit(tiny_traffic_dataset)
-        assert np.isfinite(history["loss"]).all()
+        model.fit(tiny_traffic_dataset)
+        assert np.isfinite(model.history["loss"]).all()
         result = model.impute(tiny_traffic_dataset, segment="test")
         assert np.isfinite(result.median).all()
 
@@ -368,7 +368,7 @@ class TestDtypePropagation:
                 num_diffusion_steps=4, num_samples=1, batch_size=2,
                 dtype=dtype,
             )
-            losses[dtype] = PriSTI(config).fit(tiny_traffic_dataset)["loss"]
+            losses[dtype] = PriSTI(config).fit(tiny_traffic_dataset).history["loss"]
         # Identical RNG streams (noise is drawn in float64 and cast), so the
         # two dtypes differ only by accumulated rounding.
         assert np.allclose(losses["float32"], losses["float64"], rtol=1e-4, atol=1e-6)

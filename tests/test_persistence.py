@@ -1,0 +1,458 @@
+"""Tests for the versioned model-artifact layer (repro.io).
+
+The contract under test: ``load_model(path)`` restores a *bit-identical*
+imputer (same imputations in both dtypes, same history, same timers), a
+checkpoint-resumed run reproduces an uninterrupted one exactly, and
+incompatible artifacts (unknown schema version, mismatched dtype) fail with
+clear errors instead of silently loading garbage.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import BRITSImputer, MeanImputer, RGAINImputer, VRINImputer
+from repro.core import PriSTI, PriSTIConfig
+from repro.io import ArtifactCache, ArtifactError, SCHEMA_VERSION, load_model, save_model
+from repro.io.artifacts import MANIFEST_NAME
+from repro.training import Checkpoint
+
+
+def _fast_config(**overrides):
+    defaults = dict(window_length=12, epochs=2, iterations_per_epoch=2,
+                    num_diffusion_steps=8, num_samples=2, batch_size=4)
+    defaults.update(overrides)
+    return PriSTIConfig.fast(**defaults)
+
+
+def _edit_manifest(path, **overrides):
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest.update(overrides)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_pristi_impute_is_bit_identical(self, tiny_traffic_dataset, tmp_path, dtype):
+        model = PriSTI(_fast_config(dtype=dtype)).fit(tiny_traffic_dataset)
+        path = str(tmp_path / "model")
+        model.save(path)
+        clone = load_model(path)
+        original = model.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        restored = clone.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        assert original.samples.dtype == restored.samples.dtype
+        assert np.array_equal(original.samples, restored.samples)
+        assert np.array_equal(original.median, restored.median)
+
+    def test_metadata_round_trips(self, tiny_traffic_dataset, tmp_path):
+        model = PriSTI(_fast_config()).fit(tiny_traffic_dataset)
+        clone = load_model(model.save(str(tmp_path / "model")))
+        assert clone.history == model.history
+        assert clone.training_seconds == model.training_seconds
+        assert clone.scaler.mean_ == model.scaler.mean_
+        assert clone.scaler.std_ == model.scaler.std_
+        assert clone.config == model.config
+        assert np.array_equal(clone.adjacency, model.adjacency)
+        assert clone.rng.bit_generator.state == model.rng.bit_generator.state
+
+    def test_windowed_float32_ambient_round_trip(self, tiny_traffic_dataset, tmp_path):
+        """A baseline built under a float32 default must save and reload."""
+        from repro.tensor import dtype_scope
+
+        with dtype_scope("float32"):
+            model = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                                 iterations_per_epoch=2, batch_size=4, seed=3)
+            model.fit(tiny_traffic_dataset)
+        saved_dtype = next(model.network.parameters()).data.dtype
+        clone = load_model(model.save(str(tmp_path / "brits32")))
+        assert next(clone.network.parameters()).data.dtype == saved_dtype
+        original = model.impute(tiny_traffic_dataset, segment="test")
+        restored = clone.impute(tiny_traffic_dataset, segment="test")
+        assert np.array_equal(original.samples, restored.samples)
+
+    def test_windowed_round_trip(self, tiny_traffic_dataset, tmp_path):
+        model = BRITSImputer(window_length=12, hidden_size=8, epochs=2,
+                             iterations_per_epoch=2, batch_size=4, seed=3)
+        model.fit(tiny_traffic_dataset)
+        clone = load_model(model.save(str(tmp_path / "brits")))
+        original = model.impute(tiny_traffic_dataset, segment="test")
+        restored = clone.impute(tiny_traffic_dataset, segment="test")
+        assert np.array_equal(original.samples, restored.samples)
+
+    def test_probabilistic_windowed_round_trip(self, tiny_traffic_dataset, tmp_path):
+        """V-RIN consumes its RNG at impute time — the stream must resume."""
+        model = VRINImputer(window_length=12, hidden_size=8, epochs=1,
+                            iterations_per_epoch=2, batch_size=4, seed=5)
+        model.fit(tiny_traffic_dataset)
+        clone = load_model(model.save(str(tmp_path / "vrin")))
+        original = model.impute(tiny_traffic_dataset, segment="test", num_samples=3)
+        restored = clone.impute(tiny_traffic_dataset, segment="test", num_samples=3)
+        assert np.array_equal(original.samples, restored.samples)
+
+    def test_custom_subclass_round_trips(self, tiny_traffic_dataset, tmp_path):
+        """User subclasses resolve through the dynamic registry at load time."""
+        class TweakedBRITS(BRITSImputer):
+            name = "Tweaked"
+
+        model = TweakedBRITS(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=2, batch_size=4, seed=3)
+        model.fit(tiny_traffic_dataset)
+        clone = load_model(model.save(str(tmp_path / "custom")))
+        assert type(clone) is TweakedBRITS
+        original = model.impute(tiny_traffic_dataset, segment="test")
+        restored = clone.impute(tiny_traffic_dataset, segment="test")
+        assert np.array_equal(original.samples, restored.samples)
+
+    def test_rgain_round_trip_restores_discriminator(self, tiny_traffic_dataset, tmp_path):
+        model = RGAINImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=2, batch_size=4, seed=5)
+        model.fit(tiny_traffic_dataset)
+        clone = load_model(model.save(str(tmp_path / "rgain")))
+        for name, value in model.discriminator.state_dict().items():
+            assert np.array_equal(value, clone.discriminator.state_dict()[name])
+        original = model.impute(tiny_traffic_dataset, segment="test")
+        restored = clone.impute(tiny_traffic_dataset, segment="test")
+        assert np.array_equal(original.samples, restored.samples)
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_resumed_equals_uninterrupted(self, tiny_traffic_dataset, tmp_path, dtype):
+        """Train E → checkpoint → resume E must equal train 2E straight."""
+        config = _fast_config(epochs=4, dtype=dtype)
+        straight = PriSTI(config).fit(tiny_traffic_dataset)
+
+        interrupted = PriSTI(config).fit(tiny_traffic_dataset, max_epochs=2)
+        resumed = load_model(interrupted.save(str(tmp_path / "ckpt")))
+        assert len(resumed.history["loss"]) == 2
+        resumed.fit(tiny_traffic_dataset)
+
+        assert resumed.history["loss"] == straight.history["loss"]
+        a = straight.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        b = resumed.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_windowed_resume_equals_uninterrupted(self, tiny_traffic_dataset, tmp_path):
+        kwargs = dict(window_length=12, hidden_size=8, epochs=4,
+                      iterations_per_epoch=2, batch_size=4, seed=3)
+        straight = BRITSImputer(**kwargs).fit(tiny_traffic_dataset)
+
+        interrupted = BRITSImputer(**kwargs).fit(tiny_traffic_dataset, max_epochs=2)
+        resumed = load_model(interrupted.save(str(tmp_path / "ckpt")))
+        resumed.fit(tiny_traffic_dataset)
+
+        assert resumed.history["loss"] == straight.history["loss"]
+        a = straight.impute(tiny_traffic_dataset, segment="test")
+        b = resumed.impute(tiny_traffic_dataset, segment="test")
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_finished_artifact_is_lean_and_loads_without_trainer(self, tiny_traffic_dataset,
+                                                                 tmp_path):
+        """A budget-exhausted model persists no optimiser state and its clone
+        never builds a trainer — yet fit() stays a no-op across round-trips."""
+        model = PriSTI(_fast_config(epochs=2)).fit(tiny_traffic_dataset)
+        path = model.save(str(tmp_path / "final"))
+        with np.load(os.path.join(path, "arrays.npz")) as data:
+            assert not any(name.startswith("optim.") for name in data.files)
+        clone = load_model(path)
+        assert clone.trainer is None
+        weights = {name: value.copy() for name, value in clone.network.state_dict().items()}
+        clone.fit(tiny_traffic_dataset)        # no-op: budget already spent
+        assert clone.trainer is None
+        for name, value in clone.network.state_dict().items():
+            assert np.array_equal(value, weights[name])
+        # The epoch counters survive a second save → load → fit round-trip.
+        again = load_model(clone.save(str(tmp_path / "resaved")))
+        again.fit(tiny_traffic_dataset)
+        assert len(again.history["loss"]) == 2
+
+    def test_unfinished_artifact_keeps_optimizer_state(self, tiny_traffic_dataset, tmp_path):
+        """A mid-training checkpoint must still carry the Adam moments."""
+        model = PriSTI(_fast_config(epochs=4)).fit(tiny_traffic_dataset, max_epochs=2)
+        path = model.save(str(tmp_path / "ckpt"))
+        with np.load(os.path.join(path, "arrays.npz")) as data:
+            assert any(name.startswith("optim.") for name in data.files)
+
+    def test_mid_fit_checkpoint_carries_training_time(self, tiny_traffic_dataset, tmp_path):
+        """A checkpoint saved at an epoch boundary records the time so far."""
+        path = str(tmp_path / "timed")
+        model = PriSTI(_fast_config(epochs=2))
+        model.fit(tiny_traffic_dataset, callbacks=[Checkpoint(path, every=2)])
+        restored = load_model(path)
+        assert restored.training_seconds > 0.0
+        # The checkpoint was written before fit's trailing bookkeeping, so
+        # its timer is at most the live model's final value.
+        assert restored.training_seconds <= model.training_seconds
+
+    def test_interrupted_overwrite_preserves_previous_checkpoint(self, tiny_traffic_dataset,
+                                                                 tmp_path, monkeypatch):
+        """A save that crashes mid-write must leave the old artifact loadable."""
+        import repro.io.artifacts as artifacts_module
+
+        path = str(tmp_path / "model")
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        model.save(path)
+        before = load_model(path).history["loss"]
+
+        real_savez = np.savez
+
+        def exploding_savez(*args, **kwargs):
+            real_savez(*args, **kwargs)
+            raise RuntimeError("simulated crash mid-save")
+
+        monkeypatch.setattr(artifacts_module.np, "savez", exploding_savez)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            model.save(path)
+        monkeypatch.undo()
+        # The original artifact is untouched and still loads.
+        assert load_model(path).history["loss"] == before
+
+    def test_checkpoint_callback_writes_resumable_artifact(self, tiny_traffic_dataset, tmp_path):
+        path = str(tmp_path / "periodic")
+        config = _fast_config(epochs=3)
+        model = PriSTI(config)
+        model.fit(tiny_traffic_dataset, callbacks=[Checkpoint(path, every=1)])
+        restored = load_model(path)
+        # The callback saved at every epoch boundary; the artifact on disk is
+        # the final state and imputes identically to the live model.
+        assert restored.history["loss"] == model.history["loss"]
+        a = model.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        b = restored.impute(tiny_traffic_dataset, segment="test", num_samples=2)
+        assert np.array_equal(a.samples, b.samples)
+
+
+class TestFailureModes:
+    def test_checkpoint_final_save_when_every_misaligns(self, tiny_traffic_dataset, tmp_path):
+        """on_train_end must leave a final checkpoint when epochs % every != 0."""
+        path = str(tmp_path / "misaligned")
+        model = PriSTI(_fast_config(epochs=3))
+        model.fit(tiny_traffic_dataset, callbacks=[Checkpoint(path, every=5)])
+        # No epoch boundary hit every=5, so only the train-end fallback saved.
+        restored = load_model(path)
+        assert restored.history["loss"] == model.history["loss"]
+        assert len(restored.history["loss"]) == 3
+
+    def test_save_onto_existing_file_raises_artifact_error(self, tiny_traffic_dataset, tmp_path):
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        target = tmp_path / "occupied"
+        target.write_text("a regular file")
+        with pytest.raises(ArtifactError, match="cannot write artifact"):
+            model.save(str(target))
+        # No staging directory leaks behind the failed save.
+        leftovers = [name for name in os.listdir(str(tmp_path)) if ".tmp" in name]
+        assert leftovers == []
+
+    def test_config_drift_rejected_as_artifact_error(self, tiny_traffic_dataset, tmp_path):
+        """An additive config field from another build is an ArtifactError (cache miss)."""
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        path = model.save(str(tmp_path / "model"))
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["config"]["field_from_the_future"] = 42
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="config does not match"):
+            load_model(path)
+
+    def test_unknown_schema_version_rejected(self, tiny_traffic_dataset, tmp_path):
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        path = model.save(str(tmp_path / "model"))
+        _edit_manifest(path, schema_version=SCHEMA_VERSION + 99)
+        with pytest.raises(ArtifactError, match="schema version"):
+            load_model(path)
+
+    def test_mismatched_dtype_rejected(self, tiny_traffic_dataset, tmp_path):
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        path = model.save(str(tmp_path / "model"))
+        # The manifest claims float32 but the arrays are float64.
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["dtype"] = "float32"
+        manifest["config"]["dtype"] = "float32"
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="dtype mismatch"):
+            load_model(path)
+
+    def test_not_an_artifact_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no model artifact"):
+            load_model(str(tmp_path / "nowhere"))
+
+    def test_corrupt_arrays_rejected_as_artifact_error(self, tiny_traffic_dataset, tmp_path):
+        """A torn arrays.npz must surface as ArtifactError (so caches miss)."""
+        from repro.io.artifacts import ARRAYS_NAME
+
+        model = PriSTI(_fast_config(epochs=1)).fit(tiny_traffic_dataset)
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        path = model.save(cache.path("PriSTI", "d", "p", "prof", 0))
+        with open(os.path.join(path, ARRAYS_NAME), "wb") as handle:
+            handle.write(b"not a zip file")
+        with pytest.raises(ArtifactError, match="unreadable arrays"):
+            load_model(path)
+        # The cache treats the unreadable artifact as a plain miss.
+        assert cache.load("PriSTI", "d", "p", "prof", 0) is None
+
+    def test_torn_overwrite_rejected(self, tiny_traffic_dataset, tmp_path):
+        """New arrays + old manifest (interrupted overwrite) must not load."""
+        from repro.io.artifacts import ARRAYS_NAME
+
+        model = PriSTI(_fast_config(epochs=2)).fit(tiny_traffic_dataset)
+        path = model.save(str(tmp_path / "model"))
+        # Simulate a crash between the two writes of a later overwrite: the
+        # arrays file is replaced (fresh save elsewhere) but the manifest
+        # still belongs to the first save.
+        other = PriSTI(_fast_config(epochs=2)).fit(tiny_traffic_dataset)
+        other_path = other.save(str(tmp_path / "other"))
+        os.replace(os.path.join(other_path, ARRAYS_NAME),
+                   os.path.join(path, ARRAYS_NAME))
+        with pytest.raises(ArtifactError, match="torn"):
+            load_model(path)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ArtifactError, match="unfitted"):
+            save_model(PriSTI(_fast_config()), "/tmp/should-not-exist")
+
+    def test_unsupported_family_rejected(self, tiny_traffic_dataset):
+        method = MeanImputer().fit(tiny_traffic_dataset)
+        with pytest.raises(ArtifactError, match="does not support"):
+            method.save("/tmp/should-not-exist")
+
+
+class TestArtifactCache:
+    def test_cache_hit_skips_retraining(self, tiny_traffic_dataset, tmp_path):
+        from repro.experiments import Profile, train_method
+
+        micro = Profile(
+            name="micro",
+            aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+            traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+            window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+            diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+            deep_epochs=1, deep_iterations=2, batch_size=4,
+            num_samples=2, forecast_epochs=1, forecast_iterations=2,
+        )
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        first = train_method("BRITS", tiny_traffic_dataset, micro,
+                             dataset_name="tiny", pattern="block", cache=cache)
+        second = train_method("BRITS", tiny_traffic_dataset, micro,
+                              dataset_name="tiny", pattern="block", cache=cache)
+        # The second call loaded the artifact: identical weights and the
+        # original model-owned training time, not a fresh retrain.
+        assert second.training_seconds == first.training_seconds
+        for name, value in first.network.state_dict().items():
+            assert np.array_equal(value, second.network.state_dict()[name])
+
+    def test_unsupported_methods_bypass_cache(self, tiny_traffic_dataset, tmp_path):
+        from repro.experiments import Profile, train_method
+
+        micro = Profile(
+            name="micro",
+            aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+            traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+            window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+            diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+            deep_epochs=1, deep_iterations=2, batch_size=4,
+            num_samples=2, forecast_epochs=1, forecast_iterations=2,
+        )
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        method = train_method("Mean", tiny_traffic_dataset, micro,
+                              dataset_name="tiny", pattern="block", cache=cache)
+        assert method is not None
+        # No artifact was written for the unsupported family.
+        assert os.listdir(str(tmp_path / "cache")) == []
+
+    def test_variant_separates_keys(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        base = cache.key("PriSTI", "aqi36", "failure", "fast", 0)
+        varied = cache.key("PriSTI", "aqi36", "failure", "fast", 0, variant="station3")
+        assert base != varied
+
+    def test_store_propagates_write_failures(self, tiny_traffic_dataset, tmp_path):
+        """Only unsupported families are skipped; real I/O errors must surface."""
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        model = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=2, batch_size=4, seed=3)
+        model.fit(tiny_traffic_dataset)
+        key = ("BRITS", "tiny", "block", "micro", 0)
+        with open(cache.path(*key), "w", encoding="utf-8") as handle:
+            handle.write("a plain file squatting on the cache key")
+        with pytest.raises(ArtifactError, match="cannot write artifact"):
+            cache.store(model, *key)
+
+    def test_different_dataset_contents_is_a_miss(self, tiny_traffic_dataset, tmp_path):
+        """Same coordinates, different data → the content fingerprint splits keys."""
+        from repro.data import metr_la_like
+        from repro.experiments import Profile, train_method
+
+        micro = Profile(
+            name="micro",
+            aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+            traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+            window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+            diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+            deep_epochs=1, deep_iterations=2, batch_size=4,
+            num_samples=2, forecast_epochs=1, forecast_iterations=2,
+        )
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        train_method("BRITS", tiny_traffic_dataset, micro,
+                     dataset_name="tiny", pattern="block", cache=cache)
+        other = metr_la_like(num_nodes=6, num_days=4, steps_per_day=24,
+                             missing_pattern="block", seed=99)
+        train_method("BRITS", other, micro,
+                     dataset_name="tiny", pattern="block", cache=cache)
+        # Two artifacts: the second dataset did not hit the first's entry.
+        assert len(os.listdir(str(tmp_path / "cache"))) == 2
+
+    def test_expected_guard_rejects_mismatched_config(self, tiny_traffic_dataset, tmp_path):
+        """``load(expected=...)`` itself refuses class or config mismatches."""
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        key = ("BRITS", "tiny", "block", "micro", 0)
+        model = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=2, batch_size=4, seed=3)
+        model.fit(tiny_traffic_dataset)
+        cache.store(model, *key)
+
+        same = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                            iterations_per_epoch=2, batch_size=4, seed=3)
+        assert cache.load(*key, expected=same) is not None
+        wider = BRITSImputer(window_length=12, hidden_size=16, epochs=1,
+                             iterations_per_epoch=2, batch_size=4, seed=3)
+        assert cache.load(*key, expected=wider) is None
+        other_class = VRINImputer(window_length=12, hidden_size=8, epochs=1,
+                                  iterations_per_epoch=2, batch_size=4, seed=3)
+        assert cache.load(*key, expected=other_class) is None
+        # Without a guard the artifact still loads (coordinates-only lookup).
+        assert cache.load(*key) is not None
+
+    def test_stale_profile_config_is_a_miss(self, tiny_traffic_dataset, tmp_path):
+        """Changing a profile's hyperparameters under the same name retrains."""
+        import dataclasses
+
+        from repro.experiments import Profile, train_method
+
+        micro = Profile(
+            name="micro",
+            aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+            traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+            window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+            diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+            deep_epochs=1, deep_iterations=2, batch_size=4,
+            num_samples=2, forecast_epochs=1, forecast_iterations=2,
+        )
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        first = train_method("BRITS", tiny_traffic_dataset, micro,
+                             dataset_name="tiny", pattern="block", cache=cache)
+        wider = dataclasses.replace(micro, channels=16)   # same name, new config
+        second = train_method("BRITS", tiny_traffic_dataset, wider,
+                              dataset_name="tiny", pattern="block", cache=cache)
+        assert second.hidden_size == 16 != first.hidden_size
+        # The retrained model replaced the stale artifact.
+        third = train_method("BRITS", tiny_traffic_dataset, wider,
+                             dataset_name="tiny", pattern="block", cache=cache)
+        assert third.training_seconds == second.training_seconds

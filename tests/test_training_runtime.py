@@ -1,0 +1,204 @@
+"""Tests for the shared training runtime (repro.training).
+
+Covers: the single Trainer code path for both imputer families, loss-history
+parity with the pre-refactor hand-rolled loops (pinned values generated from
+the deleted loops under the same seeds), fit's chaining contract, the
+callback protocol (logging / early stopping / interruptible max_epochs) and
+the model-owned wall-clock timers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BRITSImputer
+from repro.core import PriSTI, PriSTIConfig
+from repro.experiments import Profile, evaluate_method
+from repro.training import Callback, EarlyStopping, LossLogger, Trainer, TrainingPlan
+
+
+def _fast_config(**overrides):
+    defaults = dict(window_length=12, epochs=3, iterations_per_epoch=3,
+                    num_diffusion_steps=8, num_samples=3, batch_size=4)
+    defaults.update(overrides)
+    return PriSTIConfig.fast(**defaults)
+
+
+# Epoch-loss histories recorded from the pre-Trainer ``fit`` loops (the
+# duplicated code deleted by this refactor) under these exact seeds/configs.
+# The shared Trainer must consume the models' RNG streams in the same order,
+# so the histories must match to the last bit (float64) / float32 rounding.
+PRE_REFACTOR_PRISTI_F64 = [0.186357776752364, 0.09038775187594206, 0.06312614983398294]
+PRE_REFACTOR_PRISTI_F32 = [0.1863577738404274, 0.09038775165875752, 0.0631261554857095]
+PRE_REFACTOR_BRITS = [0.8569310484259219, 0.6794055241246237, 0.5965736644521741]
+
+
+class TestLossHistoryParity:
+    def test_pristi_float64_matches_pre_refactor(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config()).fit(tiny_traffic_dataset)
+        assert model.history["loss"] == pytest.approx(PRE_REFACTOR_PRISTI_F64, rel=0, abs=0)
+
+    def test_pristi_float32_matches_pre_refactor(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config(dtype="float32")).fit(tiny_traffic_dataset)
+        assert model.history["loss"] == pytest.approx(PRE_REFACTOR_PRISTI_F32, rel=1e-6)
+
+    def test_brits_matches_pre_refactor(self, tiny_traffic_dataset):
+        model = BRITSImputer(window_length=12, hidden_size=16, epochs=3,
+                             iterations_per_epoch=3, batch_size=4, seed=3)
+        model.fit(tiny_traffic_dataset)
+        assert model.history["loss"] == pytest.approx(PRE_REFACTOR_BRITS, rel=0, abs=0)
+
+
+class TestSharedTrainer:
+    def test_both_families_train_through_trainer(self, tiny_traffic_dataset):
+        diffusion = PriSTI(_fast_config(epochs=1, iterations_per_epoch=1))
+        diffusion.fit(tiny_traffic_dataset)
+        windowed = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                                iterations_per_epoch=1, batch_size=4)
+        windowed.fit(tiny_traffic_dataset)
+        assert isinstance(diffusion.trainer, Trainer)
+        assert isinstance(windowed.trainer, Trainer)
+        # The diffusion trainer has an LR scheduler, the windowed one does not.
+        assert diffusion.trainer.scheduler is not None
+        assert windowed.trainer.scheduler is None
+
+    def test_fit_returns_self_for_chaining(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config(epochs=1, iterations_per_epoch=1))
+        assert model.fit(tiny_traffic_dataset) is model
+        brits = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=1, batch_size=4)
+        assert brits.fit(tiny_traffic_dataset) is brits
+
+    def test_trainer_persists_across_fit_calls(self, tiny_traffic_dataset):
+        """fit(max_epochs=...) interrupts; a later fit resumes to the budget."""
+        model = PriSTI(_fast_config(epochs=3))
+        model.fit(tiny_traffic_dataset, max_epochs=1)
+        assert len(model.history["loss"]) == 1
+        first_trainer = model.trainer
+        model.fit(tiny_traffic_dataset)
+        assert model.trainer is first_trainer
+        assert len(model.history["loss"]) == 3
+        # The budget is exhausted: another fit is a no-op.
+        model.fit(tiny_traffic_dataset)
+        assert len(model.history["loss"]) == 3
+
+    def test_interrupted_training_matches_straight_run(self, tiny_traffic_dataset):
+        config = _fast_config(epochs=4, iterations_per_epoch=2)
+        straight = PriSTI(config).fit(tiny_traffic_dataset)
+        chunked = PriSTI(config)
+        chunked.fit(tiny_traffic_dataset, max_epochs=2)
+        chunked.fit(tiny_traffic_dataset)
+        assert chunked.history["loss"] == straight.history["loss"]
+
+    def test_exhausted_fit_does_not_refit_scaler(self, tiny_traffic_dataset, tiny_air_dataset):
+        """A no-op fit must not desynchronise the scaler from the weights.
+
+        With the epoch budget exhausted, fit on *different* data trains zero
+        epochs — so it must also leave the normalisation statistics (fit on
+        the original data) untouched, for both imputer families.
+        """
+        pristi = PriSTI(_fast_config(epochs=1, iterations_per_epoch=1))
+        pristi.fit(tiny_traffic_dataset)
+        brits = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=1, batch_size=4, seed=3)
+        brits.fit(tiny_traffic_dataset)
+        for model in (pristi, brits):
+            mean, std = model.scaler.mean_, model.scaler.std_
+            weights = {name: value.copy()
+                       for name, value in model.network.state_dict().items()}
+            assert model.fit(tiny_air_dataset) is model
+            assert model.scaler.mean_ == mean and model.scaler.std_ == std
+            for name, value in model.network.state_dict().items():
+                assert np.array_equal(value, weights[name])
+
+    def test_model_owned_training_timer(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config(epochs=1, iterations_per_epoch=1))
+        assert model.training_seconds == 0.0
+        model.fit(tiny_traffic_dataset)
+        assert model.training_seconds > 0.0
+
+
+class TestCallbacks:
+    def test_loss_logger_formats_like_verbose(self, tiny_traffic_dataset, capsys):
+        model = PriSTI(_fast_config(epochs=1, iterations_per_epoch=1))
+        model.fit(tiny_traffic_dataset, verbose=True)
+        out = capsys.readouterr().out
+        assert "[PriSTI] epoch 1/1 loss=" in out
+        assert "lr=" in out
+        brits = BRITSImputer(window_length=12, hidden_size=8, epochs=1,
+                             iterations_per_epoch=1, batch_size=4)
+        brits.fit(tiny_traffic_dataset, verbose=True)
+        out = capsys.readouterr().out
+        assert "[BRITS] epoch 1/1 loss=" in out
+        assert "lr=" not in out  # no scheduler on the windowed family
+
+    def test_early_stopping_halts_training(self, tiny_traffic_dataset):
+        model = PriSTI(_fast_config(epochs=5, iterations_per_epoch=1))
+        # A huge min_delta means no epoch ever counts as an improvement, so
+        # patience=2 stops deterministically after epoch 3 (1 best + 2 stale).
+        model.fit(tiny_traffic_dataset, callbacks=[EarlyStopping(patience=2, min_delta=1e9)])
+        assert len(model.history["loss"]) == 3
+        assert model.trainer.stop_requested
+        # The stop request is scoped to that fit call: a later fit (without
+        # the callback) trains the remaining budget.
+        model.fit(tiny_traffic_dataset)
+        assert len(model.history["loss"]) == 5
+        assert not model.trainer.stop_requested
+
+    def test_custom_callback_sees_every_epoch(self, tiny_traffic_dataset):
+        seen = []
+
+        class Recorder(Callback):
+            def on_epoch_end(self, trainer, epoch, loss):
+                seen.append((epoch, loss))
+
+        model = PriSTI(_fast_config(epochs=2, iterations_per_epoch=1))
+        model.fit(tiny_traffic_dataset, callbacks=[Recorder()])
+        assert [epoch for epoch, _ in seen] == [1, 2]
+        assert [loss for _, loss in seen] == model.history["loss"]
+
+    def test_training_plan_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            TrainingPlan(0, lambda optimizer: 0.0)
+
+    def test_loss_logger_custom_sink(self):
+        lines = []
+        logger = LossLogger("x", print_fn=lines.append)
+
+        class FakeTrainer:
+            scheduler = None
+            total_epochs = 7
+
+        logger.on_epoch_end(FakeTrainer(), 3, 0.5)
+        assert lines == ["[x] epoch 3/7 loss=0.5000"]
+
+
+MICRO = Profile(
+    name="micro",
+    aqi_nodes=6, aqi_days=6, aqi_steps_per_day=24,
+    traffic_nodes=6, traffic_days=5, traffic_steps_per_day=24,
+    window_length=12, channels=8, layers=1, heads=2, virtual_nodes=4,
+    diffusion_epochs=1, diffusion_iterations=2, diffusion_steps=6,
+    deep_epochs=1, deep_iterations=2, batch_size=4,
+    num_samples=2, forecast_epochs=1, forecast_iterations=2,
+)
+
+
+class TestModelOwnedTimers:
+    def test_evaluate_method_reports_model_timers(self):
+        from repro.experiments import build_dataset
+
+        dataset = build_dataset("metr-la", "point", MICRO)
+        metrics, _ = evaluate_method("BRITS", dataset, MICRO,
+                                     dataset_name="metr-la", pattern="point")
+        assert metrics["training_seconds"] > 0
+        assert metrics["inference_seconds"] > 0
+
+    def test_statistical_methods_report_model_timers(self):
+        from repro.experiments import build_dataset
+
+        dataset = build_dataset("metr-la", "point", MICRO)
+        metrics, _ = evaluate_method("Mean", dataset, MICRO,
+                                     dataset_name="metr-la", pattern="point")
+        # Mean "trains" in microseconds but the model-owned timer records it.
+        assert 0.0 <= metrics["training_seconds"] < 1.0
+        assert metrics["inference_seconds"] >= 0.0

@@ -1,0 +1,150 @@
+"""Serving throughput/latency: dynamic micro-batching vs per-request calls.
+
+The :class:`~repro.serving.ImputationService` coalesces concurrent
+same-model requests into shared :class:`~repro.inference.InferenceEngine`
+chunks, so a burst of ``B`` single-window requests costs one network call
+per diffusion step (batch ``B``) instead of ``B`` serial calls per step.
+This benchmark times a burst of ``NUM_REQUESTS`` concurrent single-window
+requests served two ways:
+
+* **serial** — each request served alone (``service.serve``), the
+  per-request reference a client without a batching front-end would get;
+* **micro-batched** — all requests submitted concurrently and flushed as
+  one micro-batch.
+
+Per-request RNG streams make the two paths bit-identical per request (the
+benchmark asserts it), so the measured difference is pure batching: the
+floor is ``MIN_SPEEDUP``x throughput.  Results are written to
+``benchmarks/results/serving.json``.  Run directly
+(``PYTHONPATH=src python benchmarks/bench_serving.py``) or through pytest
+(``pytest benchmarks/bench_serving.py``).
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ImputationRequest,
+    ImputationService,
+    ModelRegistry,
+    PriSTI,
+    PriSTIConfig,
+)
+from repro.data import metr_la_like
+from repro.experiments import get_profile
+
+NUM_REQUESTS = 16
+NUM_SAMPLES = 1            # single-window, single-sample requests
+MIN_SPEEDUP = 2.0          # floor; measured 2.5-2.7x run-to-run at this geometry
+NUM_NODES = 6
+WINDOW_LENGTH = 12
+NUM_DIFFUSION_STEPS = 30
+
+
+def _smoke_mode():
+    """CI smoke job: record timings but don't enforce wall-clock floors
+    (shared runners make speedup ratios unreliable); the bit-identity
+    assertions always apply."""
+    return get_profile().name == "smoke"
+
+
+def _build_service(root):
+    dataset = metr_la_like(num_nodes=NUM_NODES, num_days=4, steps_per_day=24,
+                           missing_pattern="block", seed=3)
+    config = PriSTIConfig.fast(
+        window_length=WINDOW_LENGTH, epochs=1, iterations_per_epoch=1,
+        num_diffusion_steps=NUM_DIFFUSION_STEPS, num_samples=NUM_SAMPLES,
+    )
+    model = PriSTI(config).fit(dataset)
+    registry = ModelRegistry(root)
+    registry.publish(model, "bench")
+    service = ImputationService(registry, max_batch_requests=NUM_REQUESTS,
+                                max_delay_seconds=0.005)
+    return service, dataset
+
+
+def _requests(dataset):
+    values, observed, evaluation = dataset.segment("test")
+    input_mask = observed & ~evaluation
+    return [
+        ImputationRequest(
+            model="bench",
+            values=values[start:start + WINDOW_LENGTH],
+            observed_mask=input_mask[start:start + WINDOW_LENGTH],
+            num_samples=NUM_SAMPLES,
+            seed=start,
+        )
+        for start in range(NUM_REQUESTS)
+    ]
+
+
+def run_benchmark():
+    """Time both paths; returns (payload, serial responses, batched responses)."""
+    with tempfile.TemporaryDirectory() as root:
+        service, dataset = _build_service(root)
+        requests = _requests(dataset)
+
+        # Warm-up (lazy allocations, artifact load into the registry LRU).
+        service.serve(requests[0])
+
+        started = time.perf_counter()
+        serial = [service.serve(request) for request in requests]
+        serial_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        tickets = [service.submit(request) for request in requests]
+        service.flush()
+        batched = [ticket.result() for ticket in tickets]
+        batched_seconds = time.perf_counter() - started
+
+    identical = all(
+        np.array_equal(alone.samples, together.samples)
+        for alone, together in zip(serial, batched)
+    )
+    payload = {
+        "num_requests": NUM_REQUESTS,
+        "num_samples": NUM_SAMPLES,
+        "window_length": WINDOW_LENGTH,
+        "num_diffusion_steps": NUM_DIFFUSION_STEPS,
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "serial_requests_per_second": round(NUM_REQUESTS / serial_seconds, 2),
+        "batched_requests_per_second": round(NUM_REQUESTS / batched_seconds, 2),
+        "throughput_speedup": round(serial_seconds / batched_seconds, 2),
+        "batch_requests_observed": batched[0].batch_requests,
+        "mean_queued_seconds": round(
+            float(np.mean([response.queued_seconds for response in batched])), 4),
+        "bit_identical_to_serve_alone": identical,
+    }
+    return payload, serial, batched
+
+
+def test_bench_serving(save_json):
+    payload, serial, batched = run_benchmark()
+    save_json("serving", payload)
+    # Micro-batching must be invisible in the numbers...
+    assert payload["bit_identical_to_serve_alone"]
+    assert payload["batch_requests_observed"] == NUM_REQUESTS
+    # ...and visible in the wall-clock.
+    if not _smoke_mode():
+        assert payload["throughput_speedup"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    payload, _, _ = run_benchmark()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "serving.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not payload["bit_identical_to_serve_alone"]:
+        raise SystemExit("micro-batched responses diverged from serve-alone")
+    if not _smoke_mode() and payload["throughput_speedup"] < MIN_SPEEDUP:
+        raise SystemExit(
+            f"throughput speedup {payload['throughput_speedup']}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )

@@ -1,0 +1,109 @@
+"""Serving demo: publish a model, micro-batch concurrent requests, stream ticks.
+
+Run with::
+
+    python examples/serving.py
+
+The script walks the full request-oriented path that production traffic would
+take:
+
+1. train a small PriSTI model and **publish** it into a ``name@version``
+   :class:`~repro.serving.ModelRegistry` (a directory tree of
+   :mod:`repro.io` artifacts),
+2. stand up an :class:`~repro.serving.ImputationService` and submit a burst
+   of concurrent single-window requests — the dynamic micro-batcher
+   coalesces them into shared inference-engine chunks, and per-request RNG
+   streams keep every response bit-identical to the request served alone,
+3. open a :class:`~repro.serving.StreamingImputer` session and feed it a
+   live tick stream (NaN = sensor dropout), printing incremental
+   imputations as they are emitted.
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import (
+    ImputationRequest,
+    ImputationService,
+    ModelRegistry,
+    PriSTI,
+    PriSTIConfig,
+    StreamingImputer,
+)
+from repro.data import metr_la_like
+
+
+def main():
+    # 1. Train a small model and publish it to a registry.
+    dataset = metr_la_like(num_nodes=10, num_days=8, steps_per_day=24,
+                           missing_pattern="block", seed=0)
+    config = PriSTIConfig.fast(
+        window_length=16, epochs=6, iterations_per_epoch=8,
+        num_diffusion_steps=16, num_samples=8, condition_dropout=0.5,
+        learning_rate=2e-3,
+    )
+    model = PriSTI(config).fit(dataset, verbose=True)
+
+    root = tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(root, max_loaded=2)
+    published = registry.publish(model, "traffic")
+    print(f"\npublished {published.spec} -> {published.path}")
+
+    # 2. Serve a burst of concurrent requests through the micro-batcher.
+    values, observed, evaluation = dataset.segment("test")
+    input_mask = observed & ~evaluation
+    window = config.window_length
+    requests = [
+        ImputationRequest(
+            model="traffic",                      # latest version
+            values=values[start:start + window],
+            observed_mask=input_mask[start:start + window],
+            num_samples=4,
+            seed=start,                           # the request's own RNG stream
+        )
+        for start in range(0, 16)
+    ]
+
+    service = ImputationService(registry, max_batch_requests=16,
+                                max_delay_seconds=0.005)
+    started = time.perf_counter()
+    tickets = [service.submit(request) for request in requests]
+    responses = [ticket.result() for ticket in tickets]
+    batched_seconds = time.perf_counter() - started
+    print(f"\nserved {len(responses)} concurrent requests in "
+          f"{batched_seconds:.2f}s "
+          f"(micro-batches of {responses[0].batch_requests})")
+
+    # Micro-batching is invisible in the numbers: serve one request alone and
+    # compare bit-for-bit.
+    alone = service.serve(requests[0])
+    assert np.array_equal(alone.samples, responses[0].samples)
+    print("response[0] == same request served alone: bit-identical")
+    print(f"service stats: {service.stats()}")
+
+    # 3. Stream ticks through a live session (NaN marks sensor dropouts).
+    stream = StreamingImputer(registry.backend("traffic"), num_nodes=dataset.num_nodes,
+                              num_samples=4, seed=7)
+    print("\nstreaming session (one tick per row):")
+    for t in range(24):
+        tick = np.where(input_mask[t], values[t], np.nan)
+        update = stream.push(tick)
+        missing = int((~update.observed_mask[-1]).sum())
+        newest = np.array2string(update.new_median[-1][:4], precision=2)
+        print(f"  tick {update.tick:2d}: imputed {missing} missing sensors, "
+              f"median[:4] = {newest}"
+              + ("  (condition cache hit)" if update.condition_cached else ""))
+    print(f"\nstream: {stream.emissions} emissions, "
+          f"{stream.condition_cache_misses} condition builds, "
+          f"{stream.condition_cache_hits} cache hits")
+
+    # Tidy up the demo registry.
+    import shutil
+    shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

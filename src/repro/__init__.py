@@ -24,11 +24,18 @@ from .core import (
     ImputationResult,
     linear_interpolation,
 )
-from .inference import InferenceEngine
+from .inference import DiffusionBackend, InferenceEngine, WindowedBackend
 from .training import Trainer, TrainingPlan
 from .io import ArtifactError, load_model, save_model
+from .serving import (
+    ImputationRequest,
+    ImputationResponse,
+    ImputationService,
+    ModelRegistry,
+    StreamingImputer,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PriSTI",
@@ -36,11 +43,18 @@ __all__ = [
     "PriSTINetwork",
     "ImputationResult",
     "InferenceEngine",
+    "DiffusionBackend",
+    "WindowedBackend",
     "Trainer",
     "TrainingPlan",
     "ArtifactError",
     "save_model",
     "load_model",
+    "ModelRegistry",
+    "ImputationService",
+    "ImputationRequest",
+    "ImputationResponse",
+    "StreamingImputer",
     "linear_interpolation",
     "__version__",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.imputer import ImputationResult
 from ..data.scalers import StandardScaler
 from ..data.windows import WindowSampler
+from ..inference import WindowedBackend
 from ..nn import Adam, clip_grad_norm
 from ..tensor import Tensor, masked_mae_loss
 from ..training import Trainer, TrainingPlan
@@ -165,28 +166,21 @@ class WindowedNeuralImputer(Imputer):
     # ------------------------------------------------------------------
     # Imputation
     # ------------------------------------------------------------------
-    def _predict_windows(self, values, input_mask, num_samples):
-        """Reconstruct a full segment window-by-window, averaging overlaps."""
-        length, num_nodes = values.shape
-        window = self.window_length
-        starts = list(range(0, length - window + 1, window))
-        if starts and starts[-1] != length - window:
-            starts.append(length - window)
-        if not starts:
-            starts = [0]
+    def backend(self):
+        """The stateless request-oriented imputation backend of this model.
 
-        sums = np.zeros((num_samples, length, num_nodes))
-        counts = np.zeros((length, num_nodes))
-        for start in starts:
-            stop = start + window
-            scaled = self.scaler.transform(values[start:stop]).T[None]
-            mask = input_mask[start:stop].T[None]
-            for sample_index in range(num_samples):
-                reconstruction = self.sample_window(scaled * mask, mask, sample_index)
-                sums[sample_index, start:stop] += reconstruction[0].T
-            counts[start:stop] += 1.0
-        counts = np.maximum(counts, 1.0)
-        return sums / counts[None]
+        Imputes raw ``(values, observed_mask)`` arrays without a dataset —
+        the surface the serving stack (:mod:`repro.serving`) uses.  Cheap to
+        construct: it shares this model's network and scaler.
+        """
+        if self.network is None:
+            raise RuntimeError("backend() called before fit()")
+        return WindowedBackend(
+            scaler=self.scaler,
+            sample_window=self.sample_window,
+            window_length=self.window_length,
+            network=self.network,
+        )
 
     def sample_window(self, values, mask, sample_index):
         """One (possibly stochastic) reconstruction of a window batch."""
@@ -197,6 +191,7 @@ class WindowedNeuralImputer(Imputer):
         return np.asarray(reconstruction.data, dtype=np.float64)
 
     def impute(self, dataset, segment="test", num_samples=1):
+        """Impute one dataset split — a thin wrapper over :meth:`backend`."""
         if self.network is None:
             raise RuntimeError("impute() called before fit()")
         num_samples = max(int(num_samples), 1)
@@ -205,18 +200,13 @@ class WindowedNeuralImputer(Imputer):
         values, observed_mask, eval_mask = dataset.segment(segment)
         input_mask = observed_mask & ~eval_mask
 
-        self.network.eval()
         start = time.perf_counter()
-        samples_scaled = self._predict_windows(values, input_mask, num_samples)
+        raw = self.backend().impute_segment(values, input_mask, num_samples=num_samples)
         self.inference_seconds = time.perf_counter() - start
-        self.network.train()
 
-        samples = self.scaler.inverse_transform(samples_scaled)
-        samples = np.where(input_mask[None], values[None], samples)
-        median = np.median(samples, axis=0)
         return ImputationResult(
-            median=median,
-            samples=samples,
+            median=raw.median,
+            samples=raw.samples,
             values=values,
             observed_mask=observed_mask,
             eval_mask=eval_mask,

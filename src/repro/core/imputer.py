@@ -23,8 +23,8 @@ from ..data.masks import MaskStrategy
 from ..data.scalers import StandardScaler
 from ..data.windows import WindowSampler
 from ..diffusion import GaussianDiffusion, make_schedule
-from ..inference import InferenceEngine
-from ..metrics import crps_from_samples, masked_mae, masked_mse, masked_rmse
+from ..inference import DiffusionBackend, InferenceEngine
+from ..metrics import imputation_metrics
 from ..io.artifacts import PersistableModel
 from ..nn import Adam, MilestoneLR
 from ..tensor import Tensor, dtype_scope, masked_mse_loss, no_grad
@@ -60,12 +60,7 @@ class ImputationResult:
 
     def metrics(self):
         """MAE / MSE / RMSE / CRPS on the evaluation mask."""
-        return {
-            "mae": masked_mae(self.median, self.values, self.eval_mask),
-            "mse": masked_mse(self.median, self.values, self.eval_mask),
-            "rmse": masked_rmse(self.median, self.values, self.eval_mask),
-            "crps": crps_from_samples(self.samples, self.values, self.eval_mask),
-        }
+        return imputation_metrics(self.median, self.samples, self.values, self.eval_mask)
 
 
 class ConditionalDiffusionImputer(PersistableModel):
@@ -254,43 +249,53 @@ class ConditionalDiffusionImputer(PersistableModel):
         artificially removed evaluation targets and the originally missing
         data) is imputed, observed entries are passed through.
 
-        Sampling runs through the shared :class:`~repro.inference.InferenceEngine`,
-        which packs ``(window, sample)`` pairs into chunks of
-        ``config.inference_batch_size`` and calls the network once per
-        diffusion step per chunk.  ``batched=False`` selects the serial
-        per-window, per-sample reference path (identical output under a
-        shared RNG seed, but far slower).
+        This is a thin wrapper over the stateless
+        :class:`~repro.inference.DiffusionBackend` (see :meth:`backend`):
+        sampling runs through the shared
+        :class:`~repro.inference.InferenceEngine`, which packs ``(window,
+        sample)`` pairs into chunks of ``config.inference_batch_size`` and
+        calls the network once per diffusion step per chunk.
+        ``batched=False`` selects the serial per-window, per-sample reference
+        path (identical output under a shared RNG seed, but far slower).
         """
         if self.network is None:
             raise RuntimeError("impute() called before fit()")
         num_samples = num_samples or self.config.num_samples
         values, observed_mask, eval_mask = dataset.segment(segment)
         input_mask = observed_mask & ~eval_mask
-        window = self.config.window_length
-        stride = stride or window
-        engine = self.inference_engine()
 
-        self.network.eval()
         inference_start = time.perf_counter()
-        samples_scaled = engine.impute_segment(
-            self.scaler.transform(values), input_mask,
-            window_length=window, stride=stride, num_samples=num_samples,
-            build_condition=self.build_condition, batched=batched,
+        raw = self.backend().impute_segment(
+            values, input_mask, num_samples=num_samples, stride=stride,
+            batched=batched,
         )
         self.inference_seconds = time.perf_counter() - inference_start
 
-        samples = self.scaler.inverse_transform(samples_scaled)
-        # Observed entries are not imputed: pass the ground truth through.
-        samples = np.where(input_mask[None], values[None], samples)
-        median = np.median(samples, axis=0)
-
-        self.network.train()
         return ImputationResult(
-            median=median,
-            samples=samples,
+            median=raw.median,
+            samples=raw.samples,
             values=values,
             observed_mask=observed_mask,
             eval_mask=eval_mask,
+        )
+
+    def backend(self):
+        """The stateless request-oriented imputation backend of this model.
+
+        The backend imputes raw ``(values, observed_mask)`` arrays of
+        arbitrary length — no dataset required — and is what the serving
+        stack (:mod:`repro.serving`) loads, micro-batches and streams
+        through.  It shares this model's network, scaler and engine, so it is
+        cheap to construct per call.
+        """
+        if self.network is None:
+            raise RuntimeError("backend() called before fit()")
+        return DiffusionBackend(
+            engine=self.inference_engine(),
+            scaler=self.scaler,
+            build_condition=self.build_condition,
+            window_length=self.config.window_length,
+            network=self.network,
         )
 
     def inference_engine(self):

@@ -26,7 +26,7 @@ from .masks import (
     hybrid_strategy_batch,
     MaskStrategy,
 )
-from .windows import WindowBatch, WindowSampler
+from .windows import SlidingWindowBuffer, WindowBatch, WindowSampler
 from .scalers import StandardScaler
 
 __all__ = [
@@ -53,5 +53,6 @@ __all__ = [
     "MaskStrategy",
     "WindowBatch",
     "WindowSampler",
+    "SlidingWindowBuffer",
     "StandardScaler",
 ]

@@ -1,10 +1,15 @@
-"""Sliding-window sampling and mini-batching.
+"""Sliding-window sampling, mini-batching and streaming window buffers.
 
 Deep imputation models consume fixed-length windows.  A :class:`WindowSampler`
 cuts a dataset split into windows of length ``L`` (the paper uses L=36 for
 AQI-36 and L=24 for the traffic datasets) and yields batches laid out as
 ``(batch, node, time)``, which matches the ``(B, N, L, d)`` convention of the
 model code.
+
+:class:`SlidingWindowBuffer` is the online counterpart: a fixed-capacity ring
+buffer that ingests one ``(node,)`` observation vector per tick and exposes
+the most recent ticks as a chronological ``(time, node)`` window — the data
+structure behind :class:`repro.serving.StreamingImputer`.
 """
 
 from __future__ import annotations
@@ -13,7 +18,103 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WindowBatch", "WindowSampler"]
+__all__ = ["WindowBatch", "WindowSampler", "SlidingWindowBuffer"]
+
+
+class SlidingWindowBuffer:
+    """Fixed-capacity ring buffer over per-tick sensor observations.
+
+    ``push`` ingests one time step — a ``(node,)`` vector of readings plus an
+    optional observation mask — in O(node) without ever moving earlier ticks;
+    ``window()`` materialises the buffered ticks in chronological order as
+    the ``(time, node)`` arrays the imputation backends consume.  Missing
+    readings can be passed either through the mask or as NaN values (NaN
+    implies unobserved and is stored as zero, the convention used by the
+    datasets).
+
+    ``start`` is the absolute index of the oldest buffered tick on the
+    stream's global time axis; a window starting at a given absolute tick has
+    immutable content forever, which is what lets the streaming session cache
+    per-window conditional information by absolute start.
+    """
+
+    def __init__(self, capacity, num_nodes, dtype=np.float64):
+        capacity = int(capacity)
+        num_nodes = int(num_nodes)
+        if capacity < 1:
+            raise ValueError("capacity must be a positive integer")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be a positive integer")
+        self.capacity = capacity
+        self.num_nodes = num_nodes
+        self._values = np.zeros((capacity, num_nodes), dtype=dtype)
+        self._mask = np.zeros((capacity, num_nodes), dtype=bool)
+        self._next = 0          # ring slot the next push writes
+        self._count = 0         # buffered ticks (≤ capacity)
+        self._total = 0         # ticks ever pushed
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def full(self):
+        """Whether the buffer holds ``capacity`` ticks."""
+        return self._count == self.capacity
+
+    @property
+    def total_pushed(self):
+        """Number of ticks ingested over the stream's lifetime."""
+        return self._total
+
+    @property
+    def start(self):
+        """Absolute index (on the stream's time axis) of the oldest tick."""
+        return self._total - self._count
+
+    def push(self, values, mask=None):
+        """Ingest one tick.
+
+        Parameters
+        ----------
+        values:
+            ``(node,)`` readings.  NaNs mark missing readings and are stored
+            as zero with their mask cleared.
+        mask:
+            Optional ``(node,)`` booleans, 1 where the reading is observed;
+            defaults to "observed wherever ``values`` is finite".
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.shape != (self.num_nodes,):
+            raise ValueError(
+                f"tick must have shape ({self.num_nodes},), got {values.shape}"
+            )
+        finite = np.isfinite(values)
+        if mask is None:
+            mask = finite
+        else:
+            mask = np.asarray(mask).astype(bool).reshape(-1)
+            if mask.shape != (self.num_nodes,):
+                raise ValueError(
+                    f"mask must have shape ({self.num_nodes},), got {mask.shape}"
+                )
+            mask = mask & finite
+        self._values[self._next] = np.where(mask, values, 0.0)
+        self._mask[self._next] = mask
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        self._total += 1
+        return self
+
+    def window(self):
+        """Return ``(values, mask)`` of shape ``(len(self), node)`` in
+        chronological order (oldest tick first)."""
+        if self._count == 0:
+            raise ValueError("cannot take a window from an empty buffer")
+        if self._count < self.capacity:
+            # Not wrapped yet: slots [0, count) are already chronological.
+            return self._values[:self._count].copy(), self._mask[:self._count].copy()
+        order = np.arange(self._next, self._next + self.capacity) % self.capacity
+        return self._values[order], self._mask[order]
 
 
 @dataclass

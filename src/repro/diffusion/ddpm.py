@@ -44,15 +44,17 @@ class GaussianDiffusion:
     def num_steps(self):
         return self.schedule.num_steps
 
-    def _standard_normal(self, shape):
+    def _standard_normal(self, shape, rng=None):
         """Standard-normal draw in :attr:`dtype`.
 
         Always consumes the generator's ``float64`` stream and casts
         afterwards, so float32 and float64 runs under the same seed see the
         same noise (up to rounding) and the serial/batched equivalence holds
-        in either dtype.
+        in either dtype.  ``rng`` selects a generator other than the shared
+        sampling stream (used for per-request RNG streams in serving).
         """
-        return self.rng.standard_normal(shape).astype(self.dtype, copy=False)
+        rng = rng if rng is not None else self.rng
+        return rng.standard_normal(shape).astype(self.dtype, copy=False)
 
     # ------------------------------------------------------------------
     # Forward process
@@ -106,13 +108,22 @@ class GaussianDiffusion:
         sigma = float(np.sqrt(self.schedule.posterior_variance(step)))
         return mean + sigma * noise
 
-    def _prepare_noise(self, num_samples, shape, draws_per_sample, initial_noise):
+    def _prepare_noise(self, num_samples, shape, draws_per_sample, initial_noise,
+                       rngs=None):
         """Pre-draw the starting and per-step noise in the serial RNG order.
 
         The serial samplers consume the generator sample-major (all of sample
         0's draws before sample 1's).  Pre-drawing in that exact order is what
         keeps the batched samplers bit-compatible with the serial loops under
         a shared seed.
+
+        ``rngs`` optionally supplies one generator per sample (per-request RNG
+        streams for the serving stack): sample ``i``'s draws then come from
+        ``rngs[i]`` instead of the shared :attr:`rng`, still sample-major, so
+        an item's noise is a function of its own stream only — independent of
+        whatever else happens to share the batch.  The same generator may
+        appear for several samples (one request's posterior samples); its
+        draws are consumed in sample order.
 
         The price of that compatibility is memory: the step noise is a
         ``(num_samples, draws_per_sample) + shape`` float64 buffer, i.e. the
@@ -125,15 +136,17 @@ class GaussianDiffusion:
         start = np.empty((num_samples,) + shape, dtype=self.dtype)
         step_noise = np.empty((num_samples, draws_per_sample) + shape, dtype=self.dtype)
         for sample_index in range(num_samples):
+            rng = rngs[sample_index] if rngs is not None else None
             if initial_noise is None:
-                start[sample_index] = self._standard_normal(shape)
+                start[sample_index] = self._standard_normal(shape, rng=rng)
             else:
                 start[sample_index] = np.asarray(initial_noise[sample_index], dtype=self.dtype)
             for draw in range(draws_per_sample):
-                step_noise[sample_index, draw] = self._standard_normal(shape)
+                step_noise[sample_index, draw] = self._standard_normal(shape, rng=rng)
         return start, step_noise
 
-    def sample(self, shape, noise_fn, num_samples=1, initial_noise=None, batched=True):
+    def sample(self, shape, noise_fn, num_samples=1, initial_noise=None, batched=True,
+               rngs=None):
         """Full reverse process from Gaussian noise (Algorithm 2).
 
         Parameters
@@ -156,15 +169,20 @@ class GaussianDiffusion:
             Vectorise the sample axis (default).  Both paths consume the RNG
             in the same order, so they produce identical outputs under a
             shared seed whenever ``noise_fn`` treats samples independently.
+        rngs:
+            Optional per-sample generators (see :meth:`_prepare_noise`);
+            batched path only.
 
         Returns
         -------
         ndarray of shape ``(num_samples,) + shape``.
         """
         if not batched:
+            if rngs is not None:
+                raise ValueError("per-sample rngs require the batched sampler")
             return self._sample_serial(shape, noise_fn, num_samples, initial_noise)
         x_t, step_noise = self._prepare_noise(
-            num_samples, shape, max(self.num_steps - 1, 0), initial_noise
+            num_samples, shape, max(self.num_steps - 1, 0), initial_noise, rngs=rngs
         )
         for position, step in enumerate(range(self.num_steps - 1, -1, -1)):
             predicted = np.asarray(noise_fn(x_t, step))
@@ -227,7 +245,7 @@ class GaussianDiffusion:
         return float(np.sqrt(alpha_bar_prev)) * x0_estimate + direction, sigma
 
     def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None,
-                    eta=0.0, initial_noise=None, batched=True):
+                    eta=0.0, initial_noise=None, batched=True, rngs=None):
         """Strided (DDIM) sampling for faster inference.
 
         ``num_inference_steps`` selects an evenly spaced subset of the
@@ -235,14 +253,19 @@ class GaussianDiffusion:
         With ``batched=True`` the sample axis is vectorised exactly as in
         :meth:`sample` — one ``noise_fn`` call per step for all samples, with
         the ``eta > 0`` stochastic noise drawn *per sample* (never shared
-        across the batch axis) in the serial loop's RNG order.
+        across the batch axis) in the serial loop's RNG order.  ``rngs``
+        optionally supplies per-sample generators (see
+        :meth:`_prepare_noise`); batched path only.
         """
         step_sequence = self.ddim_step_sequence(num_inference_steps)
         if not batched:
+            if rngs is not None:
+                raise ValueError("per-sample rngs require the batched sampler")
             return self._sample_ddim_serial(shape, noise_fn, num_samples, step_sequence,
                                             eta, initial_noise)
         draws_per_sample = len(step_sequence) - 1 if eta > 0 else 0
-        x_t, step_noise = self._prepare_noise(num_samples, shape, draws_per_sample, initial_noise)
+        x_t, step_noise = self._prepare_noise(num_samples, shape, draws_per_sample,
+                                              initial_noise, rngs=rngs)
         for position, step in enumerate(step_sequence):
             predicted = np.asarray(noise_fn(x_t, step))
             prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1

@@ -42,17 +42,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["InferenceEngine"]
+__all__ = ["InferenceEngine", "RequestPlan"]
 
 
 @dataclass
-class _WindowPlan:
-    """One sliding window with its cached conditional information."""
+class RequestPlan:
+    """One window to sample, with its cached conditional information.
+
+    A plan is the engine's unit of work: ``(values, mask, condition)`` are
+    ``(1, node, window)`` arrays in the model's scaled domain.  Plans passed
+    to :meth:`InferenceEngine.sample_plans` may come from different requests
+    with different window lengths (heterogeneous serving traffic); ``rng``
+    optionally pins the plan to its own noise stream so the drawn sample is
+    independent of whatever else shares the batch.  The segment path
+    (:meth:`InferenceEngine.impute_segment`) leaves ``rng`` unset and consumes
+    the diffusion object's shared stream.
+    """
 
     start: int
     values: np.ndarray      # (1, node, window) scaled observations
     mask: np.ndarray        # (1, node, window) float conditional mask
     condition: np.ndarray   # (1, node, window) cached conditional information
+    rng: np.random.Generator | None = None
+
+    @property
+    def item_shape(self):
+        """Shape of one sampled item, ``(node, window)``."""
+        return self.values.shape[1:]
 
 
 class InferenceEngine:
@@ -102,10 +118,23 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def window_starts(length, window_length, stride):
-        """Start offsets of the sliding windows covering ``[0, length)``."""
+        """Start offsets of the sliding windows covering ``[0, length)``.
+
+        Every time index is covered by at least one window (the property
+        tests in ``tests/test_property_based.py`` pin this for all
+        combinations): consecutive starts are ``stride`` apart and a final
+        flush-right window is appended when the stride pattern would stop
+        short of the end.  A stride larger than the window would leave
+        uncovered gaps between windows, so it is rejected.
+        """
         if length < window_length:
             raise ValueError(
                 f"segment of length {length} is shorter than the window {window_length}"
+            )
+        if not 1 <= stride <= window_length:
+            raise ValueError(
+                f"stride must be in [1, window_length={window_length}] to cover "
+                f"every index (got {stride})"
             )
         starts = list(range(0, length - window_length + 1, stride))
         if starts[-1] != length - window_length:
@@ -123,7 +152,7 @@ class InferenceEngine:
                 build_condition(window_values * window_mask, window_mask),
                 dtype=self.dtype,
             )
-            windows.append(_WindowPlan(start, window_values, window_mask, condition))
+            windows.append(RequestPlan(start, window_values, window_mask, condition))
         return windows
 
     # ------------------------------------------------------------------
@@ -145,12 +174,22 @@ class InferenceEngine:
 
         All items share the diffusion trajectory (they start at step T-1
         together), so a chunk costs one network call per diffusion step
-        regardless of its size.  Returns ``(len(plans), node, window)``.
+        regardless of its size.  Every plan in a chunk must have the same
+        item shape; per-plan RNG streams are honoured when set (all plans of
+        a chunk must agree on whether they carry one).  Returns
+        ``(len(plans), node, window)``.
         """
         condition = np.concatenate([plan.condition for plan in plans], axis=0)
         conditional_mask = np.concatenate([plan.mask for plan in plans], axis=0)
         target_mask = 1.0 - conditional_mask
-        item_shape = plans[0].values.shape[1:]                            # (N, L)
+        item_shape = plans[0].item_shape                                  # (N, L)
+        rngs = [plan.rng for plan in plans]
+        if all(rng is None for rng in rngs):
+            rngs = None                     # shared diffusion stream (segment path)
+        elif any(rng is None for rng in rngs):
+            raise ValueError(
+                "cannot mix plans with and without per-request RNG streams in one batch"
+            )
         # Scratch space the predictor may use to reuse step-independent work
         # (e.g. the conditioning tensors) across the diffusion steps of this
         # chunk; the condition and batch size are constant within a chunk.
@@ -165,9 +204,37 @@ class InferenceEngine:
         if self.ddim_steps:
             return self.diffusion.sample_ddim(
                 item_shape, noise_fn, num_samples=len(plans),
-                num_inference_steps=self.ddim_steps, batched=True,
+                num_inference_steps=self.ddim_steps, batched=True, rngs=rngs,
             )
-        return self.diffusion.sample(item_shape, noise_fn, num_samples=len(plans), batched=True)
+        return self.diffusion.sample(item_shape, noise_fn, num_samples=len(plans),
+                                     batched=True, rngs=rngs)
+
+    def sample_plans(self, plans, chunk_size=None):
+        """Draw one posterior sample per plan; heterogeneous plans allowed.
+
+        The request-oriented entry point: ``plans`` may mix window lengths
+        (and node counts) from different requests.  Plans are grouped by item
+        shape — preserving submission order within each group, so a plan's
+        draws from its own ``rng`` never depend on what it was batched with —
+        and each group is packed into chunks of at most ``chunk_size``
+        (default ``inference_batch_size``; ``None`` = one chunk per group).
+
+        Returns a list of ``(node, window)`` samples aligned with ``plans``.
+        """
+        if chunk_size is None:
+            chunk_size = self.inference_batch_size
+        samples = [None] * len(plans)
+        groups = {}
+        for index, plan in enumerate(plans):
+            groups.setdefault(plan.item_shape, []).append(index)
+        for indices in groups.values():
+            size = chunk_size or len(indices)
+            for begin in range(0, len(indices), size):
+                chunk = indices[begin:begin + size]
+                chunk_samples = self._sample_chunk([plans[i] for i in chunk])
+                for item, index in enumerate(chunk):
+                    samples[index] = chunk_samples[item]
+        return samples
 
     def _sample_window_serial(self, plan, num_samples):
         """Pre-engine reference path: batch-1 network calls, serial samplers."""
@@ -232,13 +299,13 @@ class InferenceEngine:
         if batched:
             # Flat (window, sample) product in window-major order — the same
             # order the serial path visits, which keeps the RNG streams equal.
+            # All plans share one window shape, so sample_plans degenerates to
+            # the uniform chunking the segment path always used.
             tasks = [(w, s) for w in range(len(windows)) for s in range(num_samples)]
-            chunk_size = self.inference_batch_size or num_samples
-            for chunk_start in range(0, len(tasks), chunk_size):
-                chunk = tasks[chunk_start:chunk_start + chunk_size]
-                chunk_samples = self._sample_chunk([windows[w] for w, _ in chunk])
-                for item, (w, s) in enumerate(chunk):
-                    per_window[w][s] = chunk_samples[item]
+            flat = self.sample_plans([windows[w] for w, _ in tasks],
+                                     chunk_size=self.inference_batch_size or num_samples)
+            for item, (w, s) in enumerate(tasks):
+                per_window[w][s] = flat[item]
         else:
             for w, plan in enumerate(windows):
                 per_window[w] = self._sample_window_serial(plan, num_samples)

@@ -7,7 +7,7 @@ from .probabilistic import (
     empirical_quantiles,
     interval_coverage,
 )
-from .report import ResultTable
+from .report import ResultTable, imputation_metrics
 
 __all__ = [
     "masked_mae",
@@ -18,5 +18,6 @@ __all__ = [
     "crps_from_samples",
     "empirical_quantiles",
     "interval_coverage",
+    "imputation_metrics",
     "ResultTable",
 ]

@@ -1,4 +1,4 @@
-"""Aggregation of experiment results into printable tables."""
+"""Imputation metric reporting: the shared metric bundle and result tables."""
 
 from __future__ import annotations
 
@@ -6,7 +6,37 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["ResultTable"]
+from .deterministic import masked_mae, masked_mse, masked_rmse
+from .probabilistic import crps_from_samples
+
+__all__ = ["imputation_metrics", "ResultTable"]
+
+
+def imputation_metrics(median, samples, values, eval_mask):
+    """The standard imputation metric bundle: MAE / MSE / RMSE / CRPS.
+
+    The single implementation behind every metric report —
+    :meth:`repro.core.imputer.ImputationResult.metrics` for the offline
+    dataset path and the serving responses for the request path both call
+    this, so the two can never drift apart.
+
+    Parameters
+    ----------
+    median:
+        ``(time, node)`` deterministic imputation.
+    samples:
+        ``(num_samples, time, node)`` posterior samples (CRPS input).
+    values:
+        ``(time, node)`` ground truth.
+    eval_mask:
+        ``(time, node)`` binary mask selecting the evaluated entries.
+    """
+    return {
+        "mae": masked_mae(median, values, eval_mask),
+        "mse": masked_mse(median, values, eval_mask),
+        "rmse": masked_rmse(median, values, eval_mask),
+        "crps": crps_from_samples(samples, values, eval_mask),
+    }
 
 
 class ResultTable:

@@ -25,7 +25,18 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x):
-        out = x @ self.weight
+        if x.ndim == 2:
+            # Stacked matmul (one gemv per row) instead of a single gemm over
+            # the batch: BLAS dispatches different kernels per row count
+            # (gemv at M=1, blocked gemm above), so a fused (batch, in) gemm
+            # makes each row's bits depend on how many rows share the call.
+            # Row-wise evaluation keeps every output independent of batch
+            # composition — the serving stack's bit-identical micro-batching
+            # contract (see repro.serving) relies on it.  Higher-rank inputs
+            # already matmul per stacked slice, where M is not the batch.
+            out = (x.expand_dims(1) @ self.weight).squeeze(1)
+        else:
+            out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out

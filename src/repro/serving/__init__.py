@@ -1,0 +1,41 @@
+"""Request-oriented serving stack: registry, micro-batching service, streams.
+
+The offline path (``model.impute(dataset, segment=...)``) assumes the caller
+owns a full dataset and a trained in-memory model.  This package is the
+production-facing counterpart built on the stateless
+:mod:`repro.inference.backend` layer:
+
+:class:`ModelRegistry`
+    ``name@version`` → :mod:`repro.io` artifacts, with an LRU of loaded
+    models so one process can route traffic across many published models.
+:class:`ImputationService`
+    A request queue plus a dynamic micro-batcher: concurrent requests for
+    the same model coalesce into shared inference-engine chunks
+    (size- and deadline-triggered flush), while per-request RNG streams keep
+    every response bit-identical to the request served alone.
+:class:`StreamingImputer`
+    Tick-by-tick sessions over live sensor streams, backed by a ring-buffer
+    sliding window with per-window condition caching and incremental
+    emissions.
+"""
+
+from .registry import ModelRegistry, RegistryError, ResolvedModel
+from .service import (
+    ImputationRequest,
+    ImputationResponse,
+    ImputationService,
+    PendingImputation,
+)
+from .streaming import StreamingImputer, StreamingUpdate
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryError",
+    "ResolvedModel",
+    "ImputationRequest",
+    "ImputationResponse",
+    "ImputationService",
+    "PendingImputation",
+    "StreamingImputer",
+    "StreamingUpdate",
+]

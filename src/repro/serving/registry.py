@@ -1,0 +1,187 @@
+"""Versioned model registry resolving ``name@version`` to loaded models.
+
+A registry root is a plain directory tree of :mod:`repro.io` artifacts::
+
+    <root>/<name>/<version>/manifest.json
+    <root>/<name>/<version>/arrays.npz
+
+``publish`` writes a trained model into the tree (auto-incrementing the
+version when none is given); ``load`` resolves a spec — ``"aqi@2"`` pins a
+version, ``"aqi"`` means the latest — and restores the model through
+:func:`repro.io.load_model`, keeping an LRU of loaded models so a serving
+process can route traffic across many named models without re-reading
+artifacts from disk on every request.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..io import load_model, save_model
+
+__all__ = ["ModelRegistry", "RegistryError", "ResolvedModel"]
+
+#: name / version components must be filesystem-safe.
+_COMPONENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RegistryError(RuntimeError):
+    """Raised for unknown names/versions or malformed specs."""
+
+
+@dataclass(frozen=True)
+class ResolvedModel:
+    """A fully pinned registry entry."""
+
+    name: str
+    version: str
+    path: str
+
+    @property
+    def spec(self):
+        """The canonical ``name@version`` string."""
+        return f"{self.name}@{self.version}"
+
+
+def _version_order(version):
+    """Sort key: numeric versions in numeric order, others lexicographic
+    (numeric versions sort after non-numeric so auto-published ``1, 2, …``
+    always win the "latest" race against ad-hoc tags)."""
+    try:
+        return (1, int(version), "")
+    except ValueError:
+        return (0, 0, version)
+
+
+class ModelRegistry:
+    """Resolve ``name@version`` specs to models with an LRU of loaded ones.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifact tree (created on first ``publish``).
+    max_loaded:
+        Capacity of the loaded-model LRU.  A serving process typically keeps
+        a handful of hot models resident; colder models are evicted and
+        transparently re-loaded from their artifacts on the next request.
+    """
+
+    def __init__(self, root, *, max_loaded=4):
+        if max_loaded < 1:
+            raise ValueError("max_loaded must be a positive integer")
+        self.root = os.fspath(root)
+        self.max_loaded = int(max_loaded)
+        self._loaded = OrderedDict()      # (name, version) -> model
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, model, name, version=None):
+        """Save ``model`` under ``name`` and return its :class:`ResolvedModel`.
+
+        ``version`` defaults to one past the highest numeric version already
+        published (starting at ``"1"``), so repeated publishes form a linear
+        history; any explicit filesystem-safe string (e.g. ``"prod"``) is
+        accepted too, and re-publishing an existing version overwrites it
+        atomically (the artifact writer stages and swaps).
+        """
+        self._check_component(name, "model name")
+        if version is None:
+            numeric = [int(v) for v in self.versions(name) if v.isdigit()]
+            version = str(max(numeric, default=0) + 1)
+        else:
+            version = str(version)
+            self._check_component(version, "version")
+        path = os.path.join(self.root, name, version)
+        save_model(model, path)
+        # The artifact on disk is the source of truth; drop any stale
+        # resident copy of this exact version.
+        self._loaded.pop((name, version), None)
+        return ResolvedModel(name=name, version=version, path=path)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def names(self):
+        """Published model names (sorted)."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    def versions(self, name):
+        """Published versions of ``name``, oldest-to-latest."""
+        directory = os.path.join(self.root, name)
+        if not os.path.isdir(directory):
+            return []
+        found = [
+            entry for entry in os.listdir(directory)
+            if os.path.isfile(os.path.join(directory, entry, "manifest.json"))
+        ]
+        return sorted(found, key=_version_order)
+
+    def resolve(self, spec):
+        """Resolve ``"name"`` / ``"name@version"`` to a :class:`ResolvedModel`."""
+        name, _, version = str(spec).partition("@")
+        self._check_component(name, "model name")
+        available = self.versions(name)
+        if not available:
+            raise RegistryError(f"no model named '{name}' in registry '{self.root}'")
+        if not version:
+            version = available[-1]
+        elif version not in available:
+            raise RegistryError(
+                f"model '{name}' has no version '{version}' "
+                f"(available: {', '.join(available)})"
+            )
+        return ResolvedModel(name=name, version=version,
+                             path=os.path.join(self.root, name, version))
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, spec):
+        """Load the model a spec resolves to, through the LRU."""
+        resolved = spec if isinstance(spec, ResolvedModel) else self.resolve(spec)
+        key = (resolved.name, resolved.version)
+        model = self._loaded.get(key)
+        if model is not None:
+            self._loaded.move_to_end(key)
+            self.hits += 1
+            return model
+        self.misses += 1
+        model = load_model(resolved.path)
+        self._loaded[key] = model
+        while len(self._loaded) > self.max_loaded:
+            self._loaded.popitem(last=False)
+            self.evictions += 1
+        return model
+
+    def backend(self, spec):
+        """The stateless imputation backend of a spec's model (LRU-backed)."""
+        return self.load(spec).backend()
+
+    @property
+    def loaded(self):
+        """Specs currently resident, least- to most-recently used."""
+        return [f"{name}@{version}" for name, version in self._loaded]
+
+    def stats(self):
+        """LRU counters (hits / misses / evictions / resident)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "resident": len(self._loaded)}
+
+    @staticmethod
+    def _check_component(value, what):
+        if not _COMPONENT.match(value or ""):
+            raise RegistryError(
+                f"invalid {what} '{value}': use letters, digits, '.', '_' or '-'"
+            )

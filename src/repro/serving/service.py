@@ -1,0 +1,425 @@
+"""Request-oriented imputation service with dynamic micro-batching.
+
+:class:`ImputationService` is the in-process serving layer over a
+:class:`~repro.serving.registry.ModelRegistry`: clients submit
+:class:`ImputationRequest` objects (raw ``(values, observed_mask)`` windows
+addressed to a ``name@version`` model spec) and receive
+:class:`ImputationResponse` objects.  Concurrent requests for the same model
+are coalesced by a dynamic micro-batcher into shared
+:class:`~repro.inference.InferenceEngine` chunks, so the network runs one
+forward per diffusion step for the whole batch instead of per request.
+
+Batching semantics
+------------------
+* Requests are queued per resolved ``(name, version)``; a queue is flushed
+  when it reaches ``max_batch_requests`` (size trigger) or when its oldest
+  request has waited ``max_delay_seconds`` (deadline trigger — enforced by
+  :meth:`ImputationService.poll`, the optional background worker, or the
+  next blocking ``result()`` call, whichever comes first).
+* Every request samples from its **own RNG stream** (its ``seed``, or a
+  stream spawned from the service seed at submission): the response is
+  bit-identical whatever the request was batched with — micro-batching is
+  invisible except in latency/throughput.  ``tests/test_serving.py`` pins
+  this against :meth:`ImputationService.serve` (the serve-alone reference).
+* Heterogeneous window lengths are fine: the engine groups work items by
+  shape and chunks within groups (``InferenceEngine.sample_plans``).
+* Models without the plan protocol (the windowed baselines) are served
+  per-request through the same queue — correctness first, coalescing where
+  the backend supports it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics import imputation_metrics
+from .registry import ModelRegistry, ResolvedModel
+
+__all__ = ["ImputationRequest", "ImputationResponse", "PendingImputation",
+           "ImputationService"]
+
+
+@dataclass
+class ImputationRequest:
+    """One imputation request.
+
+    Attributes
+    ----------
+    model:
+        Registry spec, ``"name"`` (latest) or ``"name@version"``.
+    values, observed_mask:
+        ``(time, node)`` raw observations and visibility mask (mask defaults
+        to "everything finite"); any length ≥ 1.
+    num_samples:
+        Posterior samples to draw.
+    seed:
+        Seed of the request's private RNG stream.  ``None`` lets the service
+        spawn a stream from its own seed sequence at submission time.
+    stride:
+        Sliding-window stride for requests longer than the model window.
+    """
+
+    model: str
+    values: np.ndarray
+    observed_mask: np.ndarray | None = None
+    num_samples: int = 1
+    seed: int | None = None
+    stride: int | None = None
+
+
+@dataclass
+class ImputationResponse:
+    """The served result for one request."""
+
+    model: str                     # resolved "name@version"
+    median: np.ndarray             # (time, node)
+    samples: np.ndarray            # (num_samples, time, node)
+    values: np.ndarray             # request inputs, echoed
+    observed_mask: np.ndarray
+    batch_requests: int            # how many requests shared the flush
+    queued_seconds: float          # submit -> flush start
+    batch_seconds: float           # wall-clock of the shared flush
+
+    def metrics(self, target_values, eval_mask):
+        """MAE / MSE / RMSE / CRPS via the shared metric implementation.
+
+        Both arguments are required: ``target_values`` is the ground truth
+        and ``eval_mask`` selects held-out entries to score.  (Scoring the
+        response against its own observed inputs would be vacuous — observed
+        entries pass through unchanged, so every metric would be zero.)
+        """
+        return imputation_metrics(self.median, self.samples,
+                                  np.asarray(target_values), np.asarray(eval_mask))
+
+
+class PendingImputation:
+    """Handle for a submitted request; resolves to an :class:`ImputationResponse`.
+
+    ``result()`` blocks until the micro-batcher has served the request.
+    Without a background worker it *drives* the service: an unflushed queue
+    is flushed on demand, so a bare submit/result pair never deadlocks.
+    """
+
+    def __init__(self, service, key):
+        self._service = service
+        self._key = key
+        self._event = threading.Event()
+        self._response = None
+        self._error = None
+
+    @property
+    def done(self):
+        return self._event.is_set()
+
+    def _resolve(self, response, error=None):
+        self._response = response
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout=None):
+        if not self._event.is_set():
+            if self._service._worker is None:
+                # Drive the service ourselves; the event may still resolve on
+                # another thread that popped our queue mid-flush, so honour
+                # the caller's timeout either way.
+                self._service.flush(self._key)
+            if not self._event.wait(timeout):
+                raise TimeoutError("imputation request not served in time")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+
+@dataclass
+class _QueuedRequest:
+    request: ImputationRequest
+    ticket: PendingImputation
+    rng: np.random.Generator
+    enqueued_at: float
+    deadline: float
+
+
+class ImputationService:
+    """Dynamic micro-batching front-end over a :class:`ModelRegistry`."""
+
+    def __init__(self, registry, *, max_batch_requests=16, max_delay_seconds=0.005,
+                 seed=0, clock=time.monotonic):
+        if not isinstance(registry, ModelRegistry):
+            raise TypeError("registry must be a ModelRegistry")
+        if max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be a positive integer")
+        if max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be non-negative")
+        self.registry = registry
+        self.max_batch_requests = int(max_batch_requests)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.clock = clock
+        self._seeds = np.random.SeedSequence(seed)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # Serialises model execution: the registry LRU and the networks are
+        # not re-entrant, and CPU inference gains nothing from overlap.
+        self._serve_lock = threading.Lock()
+        self._queues = {}              # (name, version) -> [_QueuedRequest]
+        self._resolved = {}            # (name, version) -> ResolvedModel
+        self._worker = None
+        self._stop_worker = False
+        # Serving counters (see .stats()).
+        self.requests_served = 0
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.max_batch_observed = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Queue a request; returns a :class:`PendingImputation` ticket.
+
+        Resolution happens eagerly (unknown specs fail here, not at flush);
+        reaching ``max_batch_requests`` pending requests for one model
+        triggers an immediate flush of that model's queue.
+        """
+        if not isinstance(request, ImputationRequest):
+            raise TypeError("submit expects an ImputationRequest")
+        resolved = self.registry.resolve(request.model)
+        key = (resolved.name, resolved.version)
+        rng = self._request_rng(request)
+        ticket = PendingImputation(self, key)
+        now = self.clock()
+        entry = _QueuedRequest(request=request, ticket=ticket, rng=rng,
+                               enqueued_at=now,
+                               deadline=now + self.max_delay_seconds)
+        size_triggered = False
+        with self._cond:
+            self._resolved[key] = resolved
+            queue = self._queues.setdefault(key, [])
+            queue.append(entry)
+            size_triggered = len(queue) >= self.max_batch_requests
+            self._cond.notify_all()
+        if size_triggered and self._worker is None:
+            self.flush(key)
+        return ticket
+
+    def serve(self, request):
+        """Serve one request immediately, alone — the reference path a
+        *seeded* micro-batched response is bit-identical to.  (An unseeded
+        request gets a fresh stream spawned per call, exactly as ``submit``
+        does, so its samples are independent — not repeatable.)"""
+        if not isinstance(request, ImputationRequest):
+            raise TypeError("serve expects an ImputationRequest")
+        resolved = self.registry.resolve(request.model)
+        rng = self._request_rng(request)
+        ticket = PendingImputation(self, (resolved.name, resolved.version))
+        now = self.clock()
+        entry = _QueuedRequest(request=request, ticket=ticket, rng=rng,
+                               enqueued_at=now, deadline=now)
+        self._process_batch(resolved, [entry])
+        return ticket.result()
+
+    def flush(self, model=None):
+        """Serve all pending requests now (one model's queue, or every queue).
+
+        ``model`` may be a spec string or a ``(name, version)`` key; returns
+        the number of requests served.
+        """
+        key_filter = None if model is None else self._to_key(model)
+        batches = []
+        with self._lock:
+            for key in list(self._queues):
+                if key_filter is not None and key != key_filter:
+                    continue
+                queue = self._queues.pop(key)
+                if queue:
+                    batches.append((self._resolved[key], queue))
+        return self._run_batches(batches)
+
+    def poll(self):
+        """Serve the queues whose deadline or size trigger has fired."""
+        now = self.clock()
+        batches = []
+        with self._lock:
+            for key in list(self._queues):
+                queue = self._queues[key]
+                if not queue:
+                    continue
+                if len(queue) >= self.max_batch_requests or queue[0].deadline <= now:
+                    batches.append((self._resolved[key], self._queues.pop(key)))
+        return self._run_batches(batches)
+
+    def pending(self):
+        """Number of queued, not yet served requests."""
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
+
+    def _request_rng(self, request):
+        """The request's private noise stream: its seed, else a stream
+        spawned from the service seed sequence (one per call, so unseeded
+        requests are independent of each other and of batching)."""
+        if request.seed is not None:
+            return np.random.default_rng(request.seed)
+        with self._lock:
+            return np.random.default_rng(self._seeds.spawn(1)[0])
+
+    def stats(self):
+        """Serving counters: batches, coalescing, registry LRU."""
+        average = self.requests_served / self.batches if self.batches else 0.0
+        return {
+            "requests_served": self.requests_served,
+            "batches": self.batches,
+            "average_batch_requests": average,
+            "max_batch_requests_observed": self.max_batch_observed,
+            "coalesced_requests": self.coalesced_requests,
+            "registry": self.registry.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Background worker (deadline enforcement without client polling)
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start the background flush worker (idempotent)."""
+        with self._lock:
+            if self._worker is not None:
+                return self
+            self._stop_worker = False
+            self._worker = threading.Thread(target=self._worker_loop,
+                                            name="imputation-service", daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self):
+        """Stop the worker and serve whatever is still queued."""
+        with self._cond:
+            worker, self._worker = self._worker, None
+            self._stop_worker = True
+            self._cond.notify_all()
+        if worker is not None:
+            worker.join()
+        self.flush()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    def _worker_loop(self):
+        while True:
+            with self._cond:
+                if self._stop_worker:
+                    return
+                now = self.clock()
+                deadlines = [queue[0].deadline
+                             for queue in self._queues.values() if queue]
+                due = any(len(queue) >= self.max_batch_requests
+                          for queue in self._queues.values())
+                due = due or any(deadline <= now for deadline in deadlines)
+                if not due:
+                    timeout = min(deadlines) - now if deadlines else None
+                    self._cond.wait(timeout=timeout)
+                    continue
+            try:
+                self.poll()
+            except Exception:       # pragma: no cover - tickets carry the error
+                pass
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _run_batches(self, batches):
+        """Serve each popped batch; one model's failure must not strand the
+        others (their entries are already off the queues, so skipping them
+        would leave their tickets unresolvable).  The first error re-raises
+        after every batch has been driven — each failed batch's tickets
+        already carry their own error."""
+        served = 0
+        first_error = None
+        for resolved, queue in batches:
+            try:
+                self._process_batch(resolved, queue)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+            served += len(queue)
+        if first_error is not None:
+            raise first_error
+        return served
+
+    def _process_batch(self, resolved, entries):
+        """Serve one model's micro-batch; tickets absorb any failure."""
+        started = self.clock()
+        try:
+            with self._serve_lock:
+                backend = self.registry.backend(resolved)
+                if hasattr(backend, "plan_request"):
+                    raws = self._run_coalesced(backend, entries)
+                else:
+                    raws = [
+                        backend.impute_arrays(
+                            entry.request.values, entry.request.observed_mask,
+                            num_samples=entry.request.num_samples,
+                        )
+                        for entry in entries
+                    ]
+        except Exception as error:
+            for entry in entries:
+                entry.ticket._resolve(None, error)
+            raise
+        batch_seconds = self.clock() - started
+        with self._lock:
+            self.batches += 1
+            self.requests_served += len(entries)
+            self.max_batch_observed = max(self.max_batch_observed, len(entries))
+            if len(entries) > 1:
+                self.coalesced_requests += len(entries)
+        for entry, raw in zip(entries, raws):
+            response = ImputationResponse(
+                model=resolved.spec,
+                median=raw.median,
+                samples=raw.samples,
+                values=raw.values,
+                observed_mask=raw.observed_mask,
+                batch_requests=len(entries),
+                queued_seconds=max(started - entry.enqueued_at, 0.0),
+                batch_seconds=batch_seconds,
+            )
+            entry.ticket._resolve(response)
+
+    @staticmethod
+    def _run_coalesced(backend, entries):
+        """Plan every request, run ONE engine pass, reassemble per request.
+
+        The plan protocol is what makes this safe: each item carries its
+        request's private RNG stream, and the engine's shape-grouped
+        chunking preserves submission order, so the samples drawn for a
+        request do not depend on its batch mates.
+        """
+        jobs = [
+            backend.plan_request(
+                entry.request.values, entry.request.observed_mask,
+                num_samples=entry.request.num_samples,
+                rng=entry.rng, stride=entry.request.stride,
+            )
+            for entry in entries
+        ]
+        items = [item for job in jobs for item in job.items]
+        with backend.eval_mode():
+            flat = backend.engine.sample_plans(items)
+        raws, offset = [], 0
+        for job in jobs:
+            raws.append(backend.assemble(job, flat[offset:offset + len(job.items)]))
+            offset += len(job.items)
+        return raws
+
+    def _to_key(self, model):
+        if isinstance(model, tuple):
+            return model
+        if isinstance(model, ResolvedModel):
+            return (model.name, model.version)
+        resolved = self.registry.resolve(model)
+        return (resolved.name, resolved.version)

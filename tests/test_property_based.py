@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -210,3 +211,59 @@ class TestDiffusionProcessProperties:
         batched = batched_diff.sample(x0.shape, oracle(batched_diff),
                                       num_samples=num_samples, batched=True)
         assert np.allclose(batched, serial, atol=1e-10)
+
+
+class TestWindowStartsProperties:
+    """The overlap-averaging plan must cover every index, exactly."""
+
+    @settings(**SETTINGS)
+    @given(st.integers(1, 120), st.integers(1, 40), st.integers(1, 50))
+    def test_every_index_covered(self, length, window_length, stride):
+        """Every time index of [0, length) falls inside ≥ 1 planned window,
+        no window leaves [0, length), and the coverage counts the engine
+        accumulates during overlap averaging match an index-wise recount —
+        for all (length, window_length, stride) combinations."""
+        from repro.inference import InferenceEngine
+
+        if length < window_length:
+            with pytest.raises(ValueError, match="shorter than the window"):
+                InferenceEngine.window_starts(length, window_length, stride)
+            return
+        if stride > window_length:
+            # A stride beyond the window would leave uncovered gaps; the
+            # planner refuses instead of silently averaging zeros there.
+            with pytest.raises(ValueError, match="stride"):
+                InferenceEngine.window_starts(length, window_length, stride)
+            return
+        starts = InferenceEngine.window_starts(length, window_length, stride)
+
+        # Well-formed plan: sorted unique starts, in bounds, first at 0.
+        assert starts == sorted(set(starts))
+        assert starts[0] == 0
+        assert all(0 <= start <= length - window_length for start in starts)
+
+        # Exact coverage: recount per index and require ≥ 1 everywhere, so
+        # the overlap-averaging denominator is never the max(counts, 1) fudge
+        # (a zero count would silently average nothing into a zero sample).
+        coverage = np.zeros(length, dtype=int)
+        for start in starts:
+            coverage[start:start + window_length] += 1
+        assert np.all(coverage >= 1), f"uncovered indices for starts={starts}"
+
+    @settings(**SETTINGS)
+    @given(st.integers(1, 120), st.integers(1, 40), st.integers(1, 50))
+    def test_tail_window_is_flush_with_the_end(self, length, window_length, stride):
+        """The plan always ends with the window [length - W, length) — the
+        tail-window edge case: when the stride pattern overshoots, one extra
+        flush-right window is appended rather than dropping the tail."""
+        from repro.inference import InferenceEngine
+
+        if length < window_length or stride > window_length:
+            return
+        starts = InferenceEngine.window_starts(length, window_length, stride)
+        assert starts[-1] == length - window_length
+        regular = list(range(0, length - window_length + 1, stride))
+        if regular and regular[-1] == length - window_length:
+            assert starts == regular                      # stride lands exactly
+        else:
+            assert starts == regular + [length - window_length]   # appended tail

@@ -1,0 +1,201 @@
+"""Worker-pool scaling: serving throughput vs worker count (1 / 2 / 4).
+
+The :class:`~repro.serving.WorkerPool` fans flushed micro-batches out across
+N workers with shard-aware routing, so traffic spread over several published
+models executes in parallel — thread workers overlap in the BLAS kernels
+(which release the GIL), process workers overlap unconditionally.  This
+benchmark publishes one trained model under ``NUM_SHARDS`` names, fires the
+same seeded request burst at pools of 1, 2 and 4 workers in both modes, and
+records the throughput curve.
+
+Floors
+------
+* **Bit-identity (always enforced, smoke included):** every pooled response —
+  any worker count, either mode — must equal the same request through
+  ``service.serve`` alone.  Parallelism must be invisible in the bits.
+* **Scaling (hardware-gated):** on the fast/full profiles *and* a host with
+  ≥ 4 CPU cores, the better of the two modes must reach ``MIN_SCALING``x
+  throughput at 4 workers vs 1.  A single-core host cannot express parallel
+  speedup whatever the scheduler does, so the floor is recorded but not
+  asserted there (``scaling_floor_enforced`` in the JSON says which case
+  ran); the smoke profile skips it like every other wall-clock floor.
+
+Results land in ``benchmarks/results/pool_scaling.json``.  Run directly
+(``PYTHONPATH=src python benchmarks/bench_pool_scaling.py``) or through
+pytest (``pytest benchmarks/bench_pool_scaling.py``).
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ImputationRequest,
+    ImputationService,
+    ModelRegistry,
+    PriSTI,
+    PriSTIConfig,
+    WorkerPool,
+)
+from repro.data import metr_la_like
+from repro.experiments import get_profile
+
+WORKER_COUNTS = (1, 2, 4)
+MODES = ("thread", "process")
+MIN_SCALING = 2.0          # floor on the better mode's 4-worker speedup
+NUM_SHARDS = 8             # published model names the traffic spreads over
+REQUESTS_PER_SHARD = 2
+NUM_SAMPLES = 1
+NUM_NODES = 6
+WINDOW_LENGTH = 12
+NUM_DIFFUSION_STEPS = 20
+
+
+def _smoke_mode():
+    return get_profile().name == "smoke"
+
+
+def _floor_enforced():
+    """The scaling floor needs both a timing-grade profile and the cores to
+    physically run 4 workers in parallel."""
+    return not _smoke_mode() and (os.cpu_count() or 1) >= max(WORKER_COUNTS)
+
+
+def _build_registry(root):
+    dataset = metr_la_like(num_nodes=NUM_NODES, num_days=4, steps_per_day=24,
+                           missing_pattern="block", seed=3)
+    steps = 8 if _smoke_mode() else NUM_DIFFUSION_STEPS
+    config = PriSTIConfig.fast(
+        window_length=WINDOW_LENGTH, epochs=1, iterations_per_epoch=1,
+        num_diffusion_steps=steps, num_samples=NUM_SAMPLES,
+    )
+    model = PriSTI(config).fit(dataset)
+    registry = ModelRegistry(root, max_loaded=NUM_SHARDS + 1)
+    for shard in range(NUM_SHARDS):
+        registry.publish(model, f"shard{shard}")
+    return registry, dataset, steps
+
+
+def _requests(dataset):
+    values, observed, evaluation = dataset.segment("test")
+    input_mask = observed & ~evaluation
+    # Wrap the start offsets so every request carries a FULL window — the
+    # test segment is shorter than NUM_SHARDS * REQUESTS_PER_SHARD rows, and
+    # a start past its end would silently yield a truncated (mask-padded)
+    # window, making the measured workload lighter than the JSON reports.
+    last_start = values.shape[0] - WINDOW_LENGTH
+    assert last_start >= 0, "test segment shorter than one window"
+    requests = []
+    for index in range(REQUESTS_PER_SHARD):
+        for shard in range(NUM_SHARDS):
+            offset = shard + index * NUM_SHARDS
+            start = offset % (last_start + 1)
+            requests.append(ImputationRequest(
+                model=f"shard{shard}",
+                values=values[start:start + WINDOW_LENGTH],
+                observed_mask=input_mask[start:start + WINDOW_LENGTH],
+                num_samples=NUM_SAMPLES,
+                seed=1000 + offset,
+            ))
+    return requests
+
+
+def _run_pooled(registry, requests, mode, num_workers):
+    """Wall-clock of the burst through a fresh pool (after a warm-up burst
+    that spawns workers/processes and loads every shard's model)."""
+    pool = WorkerPool(num_workers=num_workers, mode=mode,
+                      max_queue_depth=10 * len(requests))
+    service = ImputationService(registry, max_batch_requests=REQUESTS_PER_SHARD,
+                                max_delay_seconds=10.0, executor=pool)
+    with pool:
+        warm = [service.submit(request) for request in requests]
+        service.flush()
+        for ticket in warm:
+            ticket.result(timeout=600)
+
+        started = time.perf_counter()
+        tickets = [service.submit(request) for request in requests]
+        service.flush()
+        responses = [ticket.result(timeout=600) for ticket in tickets]
+        seconds = time.perf_counter() - started
+    return seconds, responses
+
+
+def run_benchmark():
+    """Measure every (mode, workers) cell; returns (payload, references)."""
+    with tempfile.TemporaryDirectory() as root:
+        registry, dataset, steps = _build_registry(root)
+        requests = _requests(dataset)
+
+        # Serve-alone reference (inline, no pool) — the bits every pooled
+        # response must reproduce.
+        reference_service = ImputationService(registry)
+        references = [reference_service.serve(request) for request in requests]
+
+        modes = {}
+        identical = True
+        for mode in MODES:
+            cells = {}
+            for num_workers in WORKER_COUNTS:
+                seconds, responses = _run_pooled(registry, requests, mode,
+                                                 num_workers)
+                identical = identical and all(
+                    np.array_equal(reference.samples, response.samples)
+                    for reference, response in zip(references, responses)
+                )
+                cells[num_workers] = {
+                    "seconds": round(seconds, 4),
+                    "requests_per_second": round(len(requests) / seconds, 2),
+                }
+            base = cells[WORKER_COUNTS[0]]["seconds"]
+            modes[mode] = {
+                "workers": {str(count): cell for count, cell in cells.items()},
+                "speedup_at_2": round(base / cells[2]["seconds"], 2),
+                "speedup_at_4": round(base / cells[4]["seconds"], 2),
+            }
+
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "num_shards": NUM_SHARDS,
+        "requests_per_shard": REQUESTS_PER_SHARD,
+        "num_requests": len(requests),
+        "num_samples": NUM_SAMPLES,
+        "window_length": WINDOW_LENGTH,
+        "num_diffusion_steps": steps,
+        "modes": modes,
+        "speedup_at_4": max(modes[mode]["speedup_at_4"] for mode in MODES),
+        "min_scaling_floor": MIN_SCALING,
+        "scaling_floor_enforced": _floor_enforced(),
+        "bit_identical_to_serve_alone": identical,
+    }
+    return payload, references
+
+
+def test_bench_pool_scaling(save_json):
+    payload, _ = run_benchmark()
+    save_json("pool_scaling", payload)
+    # Parallelism must be invisible in the numbers...
+    assert payload["bit_identical_to_serve_alone"]
+    # ...and visible in the wall-clock where the hardware can express it.
+    if payload["scaling_floor_enforced"]:
+        assert payload["speedup_at_4"] >= MIN_SCALING
+
+
+if __name__ == "__main__":
+    payload, _ = run_benchmark()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "pool_scaling.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not payload["bit_identical_to_serve_alone"]:
+        raise SystemExit("pooled responses diverged from serve-alone")
+    if payload["scaling_floor_enforced"] and payload["speedup_at_4"] < MIN_SCALING:
+        raise SystemExit(
+            f"4-worker speedup {payload['speedup_at_4']}x below the "
+            f"{MIN_SCALING}x floor"
+        )

@@ -8,7 +8,6 @@ with the ``REPRO_PROFILE`` environment variable (``smoke`` / ``fast`` /
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest

@@ -32,10 +32,12 @@ from .serving import (
     ImputationResponse,
     ImputationService,
     ModelRegistry,
+    ServiceOverloaded,
     StreamingImputer,
+    WorkerPool,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PriSTI",
@@ -54,6 +56,8 @@ __all__ = [
     "ImputationService",
     "ImputationRequest",
     "ImputationResponse",
+    "WorkerPool",
+    "ServiceOverloaded",
     "StreamingImputer",
     "linear_interpolation",
     "__version__",

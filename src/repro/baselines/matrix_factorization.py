@@ -58,15 +58,12 @@ class TRMFImputer(Imputer):
                 design = node_factors[nodes] if nodes.size else np.zeros((0, rank))
                 gram = design.T @ design + self.ridge * np.eye(rank)
                 rhs = design.T @ observed[step, nodes] if nodes.size else np.zeros(rank)
-                weight = 0.0
                 if step > 0:
                     gram += self.temporal_weight * np.eye(rank)
                     rhs += self.temporal_weight * time_factors[step - 1]
-                    weight += self.temporal_weight
                 if step < num_steps - 1:
                     gram += self.temporal_weight * np.eye(rank)
                     rhs += self.temporal_weight * time_factors[step + 1]
-                    weight += self.temporal_weight
                 time_factors[step] = np.linalg.solve(gram, rhs)
         return time_factors @ node_factors.T
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Adam, Linear, MLP, Module, Sequential
+from ..nn import Adam, MLP, Module
 from ..tensor import Tensor, binary_cross_entropy, cat
 from .brits import BRITSNetwork
 from .neural_base import WindowedNeuralImputer

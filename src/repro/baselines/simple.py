@@ -107,7 +107,8 @@ class KNNImputer(Imputer):
         # Pre-compute the neighbour list (largest adjacency weights first).
         neighbor_order = np.argsort(-adjacency, axis=1)
         for node in range(num_nodes):
-            neighbors = [n for n in neighbor_order[node] if adjacency[node, n] > 0][: self.num_neighbors]
+            neighbors = [n for n in neighbor_order[node]
+                         if adjacency[node, n] > 0][: self.num_neighbors]
             missing_steps = np.nonzero(~input_mask[:, node])[0]
             for step in missing_steps:
                 weights, acc = 0.0, 0.0

@@ -62,7 +62,8 @@ class KalmanFilterImputer(Imputer):
         smoothed = np.array(filtered_means)
         for step in range(length - 2, -1, -1):
             gain = filtered_vars[step] / max(predicted_vars[step + 1], 1e-12)
-            smoothed[step] = filtered_means[step] + gain * (smoothed[step + 1] - predicted_means[step + 1])
+            smoothed[step] = filtered_means[step] + gain * (smoothed[step + 1]
+                                                        - predicted_means[step + 1])
         return smoothed
 
     def _impute_matrix(self, values, input_mask, dataset):
@@ -140,7 +141,8 @@ class MICEImputer(Imputer):
             (values * input_mask).sum(axis=0) / np.maximum(input_mask.sum(axis=0), 1),
             0.0,
         )
-        filled = np.where(input_mask, values, np.broadcast_to(column_means, values.shape)).astype(np.float64)
+        filled = np.where(input_mask, values,
+                          np.broadcast_to(column_means, values.shape)).astype(np.float64)
 
         for _ in range(self.rounds):
             for node in range(num_nodes):
@@ -154,7 +156,8 @@ class MICEImputer(Imputer):
                 target = filled[observed, node]
                 design_observed = np.hstack([design_observed, np.ones((len(design_observed), 1))])
                 design_missing = np.hstack([design_missing, np.ones((len(design_missing), 1))])
-                gram = design_observed.T @ design_observed + self.ridge * np.eye(design_observed.shape[1])
+                gram = (design_observed.T @ design_observed
+                        + self.ridge * np.eye(design_observed.shape[1]))
                 weights = np.linalg.solve(gram, design_observed.T @ target)
                 filled[missing, node] = design_missing @ weights
         return filled

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Linear, MLP, Module, NodeEmbedding, temporal_encoding
+from ..nn import MLP, Module, NodeEmbedding, temporal_encoding
 from ..tensor import Tensor, cat
 
 __all__ = ["AuxiliaryInfo"]

@@ -10,7 +10,7 @@ of layers and the number of diffusion steps; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import asdict, dataclass
 
 __all__ = ["PriSTIConfig"]
 

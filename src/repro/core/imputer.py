@@ -14,7 +14,7 @@ values for CSDI / mix-STI).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -172,7 +172,8 @@ class ConditionalDiffusionImputer(PersistableModel):
         )
         strategy = MaskStrategy(self.config.mask_strategy, rng=self.rng)
         trainer = self._ensure_trainer()
-        iterations = self.config.iterations_per_epoch or max(len(sampler) // self.config.batch_size, 1)
+        iterations = (self.config.iterations_per_epoch
+                      or max(len(sampler) // self.config.batch_size, 1))
         plan = TrainingPlan(
             iterations,
             lambda optimizer: self._training_step(

@@ -30,7 +30,6 @@ from ..nn import (
     MultiHeadAttention,
     VirtualNodeAttention,
 )
-from ..tensor import Tensor
 
 __all__ = ["NoiseEstimationLayer"]
 

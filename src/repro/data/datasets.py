@@ -18,7 +18,7 @@ masked parts of the test set").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["NoiseSchedule", "quadratic_schedule", "linear_schedule", "cosine_schedule", "make_schedule"]
+__all__ = ["NoiseSchedule", "quadratic_schedule", "linear_schedule",
+           "cosine_schedule", "make_schedule"]
 
 
 @dataclass

@@ -8,7 +8,6 @@ grid is assembled from one place.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..baselines import BASELINE_REGISTRY, CSDIImputer
 from ..core import PriSTI, PriSTIConfig

@@ -18,7 +18,7 @@ from ..data.missing import inject_block_missing, inject_point_missing, mask_sens
 from ..forecasting import ForecastingTask
 from ..graph.adjacency import node_connectivity
 from ..io import default_artifact_cache, supports_persistence
-from ..metrics import ResultTable, crps_from_samples, masked_mae
+from ..metrics import ResultTable, masked_mae
 from .configs import (
     DEEP_METHODS,
     PROBABILISTIC_METHODS,
@@ -197,7 +197,8 @@ def run_downstream_forecasting(methods=("BRITS", "GRIN", "CSDI", "PriSTI"), prof
         method = train_method(method_name, dataset, profile, dataset_name="aqi36",
                               pattern="failure", seed=seed, cache=cache)
         # Impute the *entire* dataset (all splits) before forecasting.
-        pieces = [method.impute(dataset, segment=segment, num_samples=max(profile.num_samples // 2, 1)).median
+        half_samples = max(profile.num_samples // 2, 1)
+        pieces = [method.impute(dataset, segment=segment, num_samples=half_samples).median
                   for segment in ("train", "valid", "test")]
         imputed = np.concatenate(pieces, axis=0)
         metrics = forecasting_metrics(imputed)
@@ -211,7 +212,8 @@ def run_downstream_forecasting(methods=("BRITS", "GRIN", "CSDI", "PriSTI"), prof
 # ----------------------------------------------------------------------
 # Table VI — ablations
 # ----------------------------------------------------------------------
-def run_ablation_study(variants=("mix-STI", "w/o CF", "w/o spa", "w/o tem", "w/o MPNN", "w/o Attn", "PriSTI"),
+def run_ablation_study(variants=("mix-STI", "w/o CF", "w/o spa", "w/o tem",
+                                 "w/o MPNN", "w/o Attn", "PriSTI"),
                        grid=(("aqi36", "failure"), ("metr-la", "block"), ("metr-la", "point")),
                        profile=None, seed=0, verbose=False):
     """MAE of the Table VI variants on AQI-36-like and METR-LA-like data."""
@@ -220,10 +222,12 @@ def run_ablation_study(variants=("mix-STI", "w/o CF", "w/o spa", "w/o tem", "w/o
     for dataset_name, pattern in grid:
         dataset = build_dataset(dataset_name, pattern, profile, seed=seed)
         for variant in variants:
-            config = build_pristi_config(profile, dataset_name, pattern, seed=seed).ablation(variant)
+            config = build_pristi_config(profile, dataset_name, pattern,
+                                         seed=seed).ablation(variant)
             model = PriSTI(config)
             model.fit(dataset)
-            result = model.impute(dataset, segment="test", num_samples=max(profile.num_samples // 2, 1))
+            result = model.impute(dataset, segment="test",
+                                  num_samples=max(profile.num_samples // 2, 1))
             mae = result.metrics()["mae"]
             table.add(variant, f"{dataset_name}/{pattern}", mae)
             if verbose:

@@ -94,7 +94,8 @@ class ForecastingTask:
         for epoch in range(self.epochs):
             losses = []
             for _ in range(self.iterations_per_epoch):
-                anchors = self.rng.choice(train_anchors, size=min(self.batch_size, len(train_anchors)),
+                anchors = self.rng.choice(train_anchors,
+                                          size=min(self.batch_size, len(train_anchors)),
                                           replace=False)
                 history, target = self._batch(scaled, anchors)
                 optimizer.zero_grad()

@@ -38,13 +38,90 @@ request alone.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = ["RawImputation", "ImputationBackend", "DiffusionBackend",
-           "WindowedBackend", "RequestJob"]
+           "WindowedBackend", "RequestJob", "load_backend", "BackendCache",
+           "process_backend"]
+
+
+def load_backend(artifact_path):
+    """Rehydrate a stateless backend from a :mod:`repro.io` artifact on disk.
+
+    This is the worker-side hook of the serving
+    :class:`~repro.serving.pool.WorkerPool`: a pool worker (a sibling thread
+    or a separate process) is handed nothing but the artifact *path* of the
+    resolved model and rebuilds its own private backend from it, so no live
+    network objects ever cross a thread or process boundary.  The loaded
+    model is a faithful copy of the published one (the artifact round-trip is
+    bit-exact, see ``tests/test_persistence.py``), which is what keeps
+    pool-served responses bit-identical to the in-process serve-alone path.
+    """
+    from ..io import load_model
+
+    return load_model(artifact_path).backend()
+
+
+class BackendCache:
+    """A small per-worker LRU of rehydrated backends keyed by artifact path.
+
+    Every pool worker owns one: repeated batches for the same model reuse the
+    worker's resident copy (keeping its shard "hot"), while colder models are
+    evicted and transparently re-loaded on the next request.  Unlike the
+    :class:`~repro.serving.ModelRegistry` LRU this cache is deliberately
+    **not** shared — one instance per worker means one model instance per
+    worker, so concurrent workers never run inference through the same
+    mutable network object.
+    """
+
+    def __init__(self, max_loaded=4):
+        if max_loaded < 1:
+            raise ValueError("max_loaded must be a positive integer")
+        self.max_loaded = int(max_loaded)
+        self._backends = OrderedDict()    # artifact path -> backend
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, artifact_path):
+        """The backend for an artifact path, loading and evicting as needed."""
+        backend = self._backends.get(artifact_path)
+        if backend is not None:
+            self._backends.move_to_end(artifact_path)
+            self.hits += 1
+            return backend
+        self.misses += 1
+        backend = load_backend(artifact_path)
+        self._backends[artifact_path] = backend
+        while len(self._backends) > self.max_loaded:
+            self._backends.popitem(last=False)
+            self.evictions += 1
+        return backend
+
+    def stats(self):
+        """Cache counters (hits / misses / evictions / resident)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "resident": len(self._backends)}
+
+
+#: Process-global cache used by pool worker *processes*: each worker process
+#: is single-threaded, so one cache per process == one cache per worker.
+_PROCESS_BACKENDS = BackendCache(max_loaded=4)
+
+
+def process_backend(artifact_path):
+    """The calling process's resident backend for ``artifact_path``.
+
+    Entry point of the process-pool workers (see
+    :func:`repro.serving.pool._process_worker_main`): rehydration happens at
+    most once per (process, artifact) thanks to the process-global
+    :class:`BackendCache`.
+    """
+    return _PROCESS_BACKENDS.get(artifact_path)
 
 
 @dataclass

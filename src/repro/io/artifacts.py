@@ -410,7 +410,9 @@ def load_model(path):
     try:
         model.network.load_state_dict(parameters)
     except (KeyError, ValueError) as error:
-        raise ArtifactError(f"artifact '{path}' does not match the rebuilt network: {error}") from error
+        raise ArtifactError(
+            f"artifact '{path}' does not match the rebuilt network: {error}"
+        ) from error
 
     model.scaler.mean_ = manifest["scaler"]["mean"]
     model.scaler.std_ = manifest["scaler"]["std"]

@@ -19,7 +19,8 @@ def _prepare(prediction, target, mask):
     mask = np.asarray(mask).astype(bool)
     if prediction.shape != target.shape or mask.shape != target.shape:
         raise ValueError(
-            f"shape mismatch: prediction {prediction.shape}, target {target.shape}, mask {mask.shape}"
+            f"shape mismatch: prediction {prediction.shape}, "
+            f"target {target.shape}, mask {mask.shape}"
         )
     if mask.sum() == 0:
         raise ValueError("mask selects no entries to evaluate")

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, attention_core, softmax
+from ..tensor import attention_core, softmax
 from . import init
 from .linear import Linear
 from .module import Module, Parameter

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..tensor import Tensor
 from . import init
 from .module import Module, Parameter
 

@@ -13,12 +13,25 @@ production-facing counterpart built on the stateless
     the same model coalesce into shared inference-engine chunks
     (size- and deadline-triggered flush), while per-request RNG streams keep
     every response bit-identical to the request served alone.
+:class:`WorkerPool`
+    Parallel batch execution behind the service: shard-aware routing by
+    model spec, work stealing, admission control
+    (:class:`ServiceOverloaded`), thread workers by default with an opt-in
+    process pool that rehydrates models from the artifact tree.
 :class:`StreamingImputer`
     Tick-by-tick sessions over live sensor streams, backed by a ring-buffer
     sliding window with per-window condition caching and incremental
     emissions.
 """
 
+from .pool import (
+    BatchTask,
+    PoolStopped,
+    RequestPayload,
+    ServiceOverloaded,
+    WorkerCrashed,
+    WorkerPool,
+)
 from .registry import ModelRegistry, RegistryError, ResolvedModel
 from .service import (
     ImputationRequest,
@@ -36,6 +49,12 @@ __all__ = [
     "ImputationResponse",
     "ImputationService",
     "PendingImputation",
+    "WorkerPool",
+    "BatchTask",
+    "RequestPayload",
+    "ServiceOverloaded",
+    "PoolStopped",
+    "WorkerCrashed",
     "StreamingImputer",
     "StreamingUpdate",
 ]

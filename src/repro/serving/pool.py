@@ -1,0 +1,493 @@
+"""Parallel worker-pool execution with shard-aware routing.
+
+:class:`WorkerPool` is the horizontal-scale substrate behind
+:class:`~repro.serving.ImputationService`: flushed micro-batches are fanned
+out to ``num_workers`` workers instead of executing on the caller's thread.
+Two execution modes share one scheduling core:
+
+``mode="thread"`` (default)
+    Workers are sibling threads.  The fused numpy/BLAS kernels under the
+    network release the GIL for the bulk of a reverse-diffusion step, so
+    same-process threads already overlap on multi-core hosts, and nothing
+    needs to be serialised — each worker holds its **own** rehydrated model
+    instances (a per-worker :class:`~repro.inference.backend.BackendCache`),
+    so no network object is ever shared across threads.
+
+``mode="process"``
+    Each worker thread drives a dedicated child process that rehydrates
+    models from the registry's artifact tree on first use
+    (:func:`repro.inference.backend.process_backend`) and executes batches
+    with true parallelism.  Per-request RNG ``Generator`` objects are
+    pickled to the child, so a process-served response is bit-identical to
+    the same request served in-process.
+
+Scheduling
+----------
+* **Shard-aware routing** — every batch carries its resolved ``name@version``
+  spec; ``crc32(spec) % num_workers`` assigns it a *home shard*, so one
+  model's traffic keeps hitting the same worker and that worker's
+  loaded-model LRU stays hot.
+* **Work stealing** — an idle worker whose own queue is empty takes the
+  newest batch from the longest backed-up sibling queue (the oldest batch
+  stays put for its home worker, which has the model resident).  Stealing
+  costs the thief a cold model load but bounds the tail latency of a hot
+  shard; disable with ``steal=False`` to pin shards strictly.
+* **Admission control** — ``max_queue_depth`` bounds the number of queued
+  (not yet executing) *requests* across all shards; dispatching beyond it
+  raises :class:`ServiceOverloaded` so callers shed load instead of queueing
+  unboundedly.
+* **Drain-on-stop** — ``stop(drain=True)`` (the default, also the context
+  manager exit) completes every queued batch before the workers exit;
+  ``stop(drain=False)`` fails queued batches with :class:`PoolStopped` and
+  only lets in-flight ones finish.
+
+Bit-identity
+------------
+The pool never changes what is computed, only where: batches are executed by
+:func:`execute_batch` exactly as the service's inline path executes them, each
+request samples from its own RNG stream, and per-worker model instances plus
+thread-local autograd/dtype scopes (:mod:`repro.tensor`) keep concurrent
+batches from perturbing each other.  ``tests/test_pool.py`` pins pooled ==
+serve-alone in float32 and float64 for both modes.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..inference.backend import BackendCache, process_backend
+
+__all__ = ["WorkerPool", "ServiceOverloaded", "PoolStopped", "WorkerCrashed",
+           "RequestPayload", "BatchTask", "execute_batch"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The pool (or service) queue is full; the request was rejected."""
+
+
+class PoolStopped(RuntimeError):
+    """The pool stopped before this batch could execute."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died mid-batch; its tickets carry this error."""
+
+
+@dataclass
+class RequestPayload:
+    """The picklable execution inputs of one queued request.
+
+    This is the wire format between the service and the pool workers: raw
+    arrays plus the request's private RNG stream (``numpy.random.Generator``
+    pickles with its exact state, which is what keeps process-pool responses
+    bit-identical to in-process ones).
+    """
+
+    values: np.ndarray
+    observed_mask: np.ndarray | None
+    num_samples: int
+    rng: np.random.Generator | None
+    stride: int | None
+
+
+def execute_batch(backend, payloads):
+    """Execute one micro-batch on ``backend``; returns per-payload raws.
+
+    The single execution path shared by the service's inline ``serve``/
+    ``flush``, the thread-pool workers and the process-pool workers — all
+    three produce identical bits for identical payloads:
+
+    * backends with the request-plan protocol (the diffusion family) are
+      **coalesced**: every payload is planned, all items run through one
+      engine pass (each item drawing from its payload's own RNG stream), and
+      the samples are reassembled per payload;
+    * other backends (the windowed baselines) execute per payload.
+    """
+    if hasattr(backend, "plan_request"):
+        jobs = [
+            backend.plan_request(
+                payload.values, payload.observed_mask,
+                num_samples=payload.num_samples,
+                rng=payload.rng, stride=payload.stride,
+            )
+            for payload in payloads
+        ]
+        items = [item for job in jobs for item in job.items]
+        with backend.eval_mode():
+            flat = backend.engine.sample_plans(items)
+        raws, offset = [], 0
+        for job in jobs:
+            raws.append(backend.assemble(job, flat[offset:offset + len(job.items)]))
+            offset += len(job.items)
+        return raws
+    return [
+        backend.impute_arrays(payload.values, payload.observed_mask,
+                              num_samples=payload.num_samples)
+        for payload in payloads
+    ]
+
+
+@dataclass
+class BatchTask:
+    """One dispatched micro-batch: routing key, inputs and completion hooks.
+
+    ``on_done(raws)`` / ``on_error(exc)`` run on the worker *thread* (also in
+    process mode — the child only computes), so the dispatcher keeps ticket
+    resolution and its own bookkeeping in-process.  ``execute`` is a test
+    hook: when set, the worker calls ``execute(worker_id)`` instead of the
+    backend path (always in-thread), which lets the scheduling tests drive
+    routing, stealing, overload and crash handling without trained models.
+    """
+
+    spec: str                       # resolved "name@version" — the shard key
+    artifact_path: str
+    payloads: list
+    on_done: object                 # callable(list[RawImputation]) -> None
+    on_error: object                # callable(Exception) -> None
+    execute: object = None          # callable(worker_id) -> raws  (tests only)
+    stolen: bool = field(default=False, init=False)
+
+    @property
+    def num_requests(self):
+        return len(self.payloads)
+
+
+class _WorkerProcess:
+    """A worker thread's dedicated child process (``mode="process"``)."""
+
+    def __init__(self, mp_context, name):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(mp_context)
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(target=_process_worker_main,
+                                   args=(child_conn,), name=name, daemon=True)
+        self.process.start()
+        # The parent keeps only its end; the child owns the other.
+        child_conn.close()
+
+    def run(self, task):
+        """Execute ``task`` in the child; raises :class:`WorkerCrashed` if it
+        dies mid-batch (EOF/broken pipe) and re-raises child-side errors."""
+        try:
+            self.conn.send(("batch", task.artifact_path, task.payloads))
+            status, result = self.conn.recv()
+        except (EOFError, OSError) as error:
+            self.close(kill=True)
+            raise WorkerCrashed(
+                f"worker process died mid-batch ({type(error).__name__})"
+            ) from error
+        if status == "error":
+            if isinstance(result, Exception):
+                raise result
+            # SystemExit/KeyboardInterrupt-style escapes from the child must
+            # not propagate as control flow in the parent — surface them as a
+            # batch failure the tickets can carry.
+            raise WorkerCrashed(
+                f"worker process raised {type(result).__name__}: {result}")
+        return result
+
+    def close(self, kill=False):
+        try:
+            if not kill and self.process.is_alive():
+                self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+def _process_worker_main(conn):
+    """Child-process loop: rehydrate-on-demand, execute, reply."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] != "batch":
+            conn.close()
+            return
+        _, artifact_path, payloads = message
+        try:
+            raws = execute_batch(process_backend(artifact_path), payloads)
+        except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+            try:
+                conn.send(("error", error))
+            except Exception:
+                conn.send(("error", RuntimeError(
+                    f"{type(error).__name__}: {error} (original not picklable)")))
+        else:
+            conn.send(("ok", raws))
+
+
+class WorkerPool:
+    """N-worker executor with shard routing, stealing and admission control.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker (and shard) count.
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    max_queue_depth:
+        Admission-control bound on queued (not yet executing) requests across
+        all shards; ``dispatch`` beyond it raises :class:`ServiceOverloaded`.
+    max_loaded_per_worker:
+        Capacity of each worker's rehydrated-model LRU (thread mode; process
+        workers use the process-global cache in
+        :mod:`repro.inference.backend`).
+    steal:
+        Allow idle workers to take batches from backed-up sibling shards.
+    mp_context:
+        ``multiprocessing`` start method for process workers.  ``"spawn"``
+        (default) is safe regardless of what the parent's threads are doing;
+        ``"fork"`` starts faster but is unsafe in multi-threaded parents.
+    """
+
+    def __init__(self, num_workers=2, *, mode="thread", max_queue_depth=256,
+                 max_loaded_per_worker=4, steal=True, mp_context="spawn",
+                 name="imputation-pool"):
+        if num_workers < 1:
+            raise ValueError("num_workers must be a positive integer")
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be a positive integer")
+        self.num_workers = int(num_workers)
+        self.mode = mode
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_loaded_per_worker = int(max_loaded_per_worker)
+        self.steal = bool(steal)
+        self.mp_context = mp_context
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues = [deque() for _ in range(self.num_workers)]
+        self._in_flight = [None] * self.num_workers
+        self._threads = []
+        self._started = False
+        self._stopping = False
+        self._drain = True
+        # Counters (read via .stats()).
+        self.dispatched_batches = 0
+        self.executed_batches = [0] * self.num_workers
+        self.stolen_batches = 0
+        self.rejected_requests = 0
+        self.crashed_batches = 0
+        self.max_backlog_observed = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch surface
+    # ------------------------------------------------------------------
+    def shard_of(self, spec):
+        """The home worker index of a model spec (stable across runs)."""
+        return zlib.crc32(str(spec).encode("utf-8")) % self.num_workers
+
+    def dispatch(self, task):
+        """Queue a :class:`BatchTask` on its home shard.
+
+        Raises :class:`ServiceOverloaded` when the queued-request total would
+        exceed ``max_queue_depth`` (the task's completion hooks are *not*
+        called — admission control happens before the batch is accepted) and
+        :class:`PoolStopped` after :meth:`stop`.
+        """
+        if not isinstance(task, BatchTask):
+            raise TypeError("dispatch expects a BatchTask")
+        with self._cond:
+            # One critical section for the stopped-check AND the lazy start:
+            # a dispatch racing stop() must either enqueue before the stop
+            # (and be drained/discarded by it) or raise — never resurrect a
+            # pool its owner just shut down.
+            if self._stopping:
+                raise PoolStopped("worker pool is stopped")
+            self._start_locked()
+            backlog = self._backlog_locked()
+            if backlog + task.num_requests > self.max_queue_depth:
+                self.rejected_requests += task.num_requests
+                raise ServiceOverloaded(
+                    f"pool queue depth {backlog} + {task.num_requests} exceeds "
+                    f"max_queue_depth={self.max_queue_depth}"
+                )
+            self._queues[self.shard_of(task.spec)].append(task)
+            self.dispatched_batches += 1
+            self.max_backlog_observed = max(self.max_backlog_observed,
+                                            backlog + task.num_requests)
+            self._cond.notify_all()
+
+    def backlog(self):
+        """Queued (not yet executing) requests across all shards."""
+        with self._lock:
+            return self._backlog_locked()
+
+    def wait_idle(self, timeout=None):
+        """Block until no batch is queued or executing; ``True`` on success."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: all(not queue for queue in self._queues)
+                and all(task is None for task in self._in_flight),
+                timeout=timeout,
+            )
+
+    def stats(self):
+        """Scheduling counters plus the live queue/in-flight picture."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "num_workers": self.num_workers,
+                "dispatched_batches": self.dispatched_batches,
+                "executed_batches": list(self.executed_batches),
+                "stolen_batches": self.stolen_batches,
+                "rejected_requests": self.rejected_requests,
+                "crashed_batches": self.crashed_batches,
+                "max_backlog_observed": self.max_backlog_observed,
+                "backlog_requests": self._backlog_locked(),
+                "queued_batches": [len(queue) for queue in self._queues],
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start the worker threads (idempotent; ``dispatch`` calls it).
+
+        An explicit ``start()`` also restarts a previously ``stop()``-ed
+        pool; ``dispatch`` never does that implicitly.
+        """
+        with self._lock:
+            self._stopping = False
+            self._start_locked()
+        return self
+
+    def _start_locked(self):
+        if self._started:
+            return
+        self._started = True
+        self._drain = True
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(wid,),
+                             name=f"{self.name}-{wid}", daemon=True)
+            for wid in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, drain=True):
+        """Stop the workers.
+
+        ``drain=True`` completes every queued batch first; ``drain=False``
+        fails queued batches with :class:`PoolStopped` (in-flight batches
+        still finish — a worker is never interrupted mid-model-call).
+        """
+        discarded = []
+        with self._cond:
+            if not self._started:
+                self._stopping = True
+                return self
+            self._stopping = True
+            self._drain = bool(drain)
+            if not drain:
+                for queue in self._queues:
+                    discarded.extend(queue)
+                    queue.clear()
+            self._cond.notify_all()
+        for task in discarded:
+            task.on_error(PoolStopped("worker pool stopped before this batch ran"))
+        for thread in self._threads:
+            thread.join()
+        with self._lock:
+            self._threads = []
+            self._started = False
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop(drain=True)
+        return False
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _backlog_locked(self):
+        return sum(task.num_requests for queue in self._queues for task in queue)
+
+    def _take_locked(self, wid):
+        """Next task for worker ``wid``: its own queue first, else steal the
+        newest batch from the longest sibling queue."""
+        if self._queues[wid]:
+            return self._queues[wid].popleft(), False
+        if self.steal:
+            longest = max(range(self.num_workers),
+                          key=lambda other: len(self._queues[other]))
+            if self._queues[longest]:
+                return self._queues[longest].pop(), True
+        return None, False
+
+    def _worker_loop(self, wid):
+        handle = BackendCache(self.max_loaded_per_worker)
+        process = None
+        try:
+            while True:
+                with self._cond:
+                    task = None
+                    while task is None:
+                        task, stolen = self._take_locked(wid)
+                        if task is not None:
+                            break
+                        if self._stopping:
+                            drained = (not self._drain
+                                       or all(not queue for queue in self._queues))
+                            if drained:
+                                return
+                        self._cond.wait(timeout=0.1)
+                    task.stolen = stolen
+                    self._in_flight[wid] = task
+                    if stolen:
+                        self.stolen_batches += 1
+                try:
+                    if task.execute is not None:
+                        raws = task.execute(wid)
+                    elif self.mode == "process":
+                        if process is None:
+                            process = _WorkerProcess(
+                                self.mp_context, f"{self.name}-proc-{wid}")
+                        try:
+                            raws = process.run(task)
+                        except WorkerCrashed:
+                            process = None     # respawn lazily on the next batch
+                            with self._lock:
+                                self.crashed_batches += 1
+                            raise
+                    else:
+                        raws = execute_batch(handle.get(task.artifact_path),
+                                             task.payloads)
+                except BaseException as error:
+                    # Resolve the batch's tickets whatever escaped — a ticket
+                    # left pending blocks its client forever.  Exceptions are
+                    # absorbed (the pool keeps serving); fatal signals
+                    # (SystemExit, KeyboardInterrupt) re-raise after the
+                    # tickets are resolved and still take the worker down.
+                    task.on_error(error)
+                    if not isinstance(error, Exception):
+                        raise
+                else:
+                    task.on_done(raws)
+                finally:
+                    with self._cond:
+                        self._in_flight[wid] = None
+                        self.executed_batches[wid] += 1
+                        self._cond.notify_all()
+        finally:
+            if process is not None:
+                process.close()

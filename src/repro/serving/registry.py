@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -67,6 +68,13 @@ class ModelRegistry:
         Capacity of the loaded-model LRU.  A serving process typically keeps
         a handful of hot models resident; colder models are evicted and
         transparently re-loaded from their artifacts on the next request.
+
+    The LRU (and its counters) are guarded by a lock, so concurrent serving
+    threads — the service's inline path, its background flush worker and any
+    direct callers — can share one registry.  The *models* handed out are
+    still shared objects; workers that run inference concurrently should hold
+    their own instances (see
+    :class:`repro.inference.backend.BackendCache`).
     """
 
     def __init__(self, root, *, max_loaded=4):
@@ -74,6 +82,7 @@ class ModelRegistry:
             raise ValueError("max_loaded must be a positive integer")
         self.root = os.fspath(root)
         self.max_loaded = int(max_loaded)
+        self._lock = threading.RLock()
         self._loaded = OrderedDict()      # (name, version) -> model
         self.hits = 0
         self.misses = 0
@@ -102,7 +111,8 @@ class ModelRegistry:
         save_model(model, path)
         # The artifact on disk is the source of truth; drop any stale
         # resident copy of this exact version.
-        self._loaded.pop((name, version), None)
+        with self._lock:
+            self._loaded.pop((name, version), None)
         return ResolvedModel(name=name, version=version, path=path)
 
     # ------------------------------------------------------------------
@@ -149,21 +159,22 @@ class ModelRegistry:
     # Loading
     # ------------------------------------------------------------------
     def load(self, spec):
-        """Load the model a spec resolves to, through the LRU."""
+        """Load the model a spec resolves to, through the LRU (thread-safe)."""
         resolved = spec if isinstance(spec, ResolvedModel) else self.resolve(spec)
         key = (resolved.name, resolved.version)
-        model = self._loaded.get(key)
-        if model is not None:
-            self._loaded.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            model = self._loaded.get(key)
+            if model is not None:
+                self._loaded.move_to_end(key)
+                self.hits += 1
+                return model
+            self.misses += 1
+            model = load_model(resolved.path)
+            self._loaded[key] = model
+            while len(self._loaded) > self.max_loaded:
+                self._loaded.popitem(last=False)
+                self.evictions += 1
             return model
-        self.misses += 1
-        model = load_model(resolved.path)
-        self._loaded[key] = model
-        while len(self._loaded) > self.max_loaded:
-            self._loaded.popitem(last=False)
-            self.evictions += 1
-        return model
 
     def backend(self, spec):
         """The stateless imputation backend of a spec's model (LRU-backed)."""
@@ -172,12 +183,14 @@ class ModelRegistry:
     @property
     def loaded(self):
         """Specs currently resident, least- to most-recently used."""
-        return [f"{name}@{version}" for name, version in self._loaded]
+        with self._lock:
+            return [f"{name}@{version}" for name, version in self._loaded]
 
     def stats(self):
         """LRU counters (hits / misses / evictions / resident)."""
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "resident": len(self._loaded)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "resident": len(self._loaded)}
 
     @staticmethod
     def _check_component(value, what):

@@ -26,17 +26,33 @@ Batching semantics
 * Models without the plan protocol (the windowed baselines) are served
   per-request through the same queue — correctness first, coalescing where
   the backend supports it.
+
+Execution semantics
+-------------------
+* Without an ``executor`` every flushed batch executes inline on the calling
+  thread (serialised by one lock), exactly as before.
+* With ``executor=WorkerPool(...)`` flushed batches are **dispatched** to the
+  pool's shard queues instead: ``flush``/``poll`` return once the batches are
+  queued, tickets resolve when a worker finishes, and consistent
+  spec-to-shard routing keeps each worker's model cache hot (see
+  :mod:`repro.serving.pool`).  ``response.batch_seconds`` then includes any
+  time the batch waited in its shard queue.
+* ``max_queue_depth`` adds service-level backpressure: a ``submit`` that
+  would push the number of waiting requests (service queues + pool backlog)
+  past the bound raises :class:`~repro.serving.pool.ServiceOverloaded`
+  instead of queueing unboundedly.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..metrics import imputation_metrics
+from .pool import BatchTask, RequestPayload, ServiceOverloaded, execute_batch
 from .registry import ModelRegistry, ResolvedModel
 
 __all__ = ["ImputationRequest", "ImputationResponse", "PendingImputation",
@@ -144,17 +160,41 @@ class _QueuedRequest:
 
 
 class ImputationService:
-    """Dynamic micro-batching front-end over a :class:`ModelRegistry`."""
+    """Dynamic micro-batching front-end over a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The ``name@version`` artifact tree to serve from.
+    max_batch_requests, max_delay_seconds, seed, clock:
+        Micro-batching knobs, unchanged from the single-threaded service.
+    executor:
+        Optional :class:`~repro.serving.pool.WorkerPool` — flushed batches
+        are dispatched to it instead of executing on the flushing thread.
+        The service does not own the pool's lifecycle (one pool may back
+        several services); :meth:`stop` only waits for this service's own
+        dispatched requests to resolve.
+    max_queue_depth:
+        Optional admission bound on waiting requests (service queues plus
+        executor backlog); ``submit`` past it raises
+        :class:`~repro.serving.pool.ServiceOverloaded`.
+    """
 
     def __init__(self, registry, *, max_batch_requests=16, max_delay_seconds=0.005,
-                 seed=0, clock=time.monotonic):
+                 seed=0, clock=time.monotonic, executor=None, max_queue_depth=None):
         if not isinstance(registry, ModelRegistry):
             raise TypeError("registry must be a ModelRegistry")
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be a positive integer")
         if max_delay_seconds < 0:
             raise ValueError("max_delay_seconds must be non-negative")
+        if executor is not None and not hasattr(executor, "dispatch"):
+            raise TypeError("executor must provide dispatch() (see WorkerPool)")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be a positive integer")
         self.registry = registry
+        self.executor = executor
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self.max_batch_requests = int(max_batch_requests)
         self.max_delay_seconds = float(max_delay_seconds)
         self.clock = clock
@@ -166,6 +206,7 @@ class ImputationService:
         self._serve_lock = threading.Lock()
         self._queues = {}              # (name, version) -> [_QueuedRequest]
         self._resolved = {}            # (name, version) -> ResolvedModel
+        self._inflight_requests = 0    # popped off the queues, tickets pending
         self._worker = None
         self._stop_worker = False
         # Serving counters (see .stats()).
@@ -182,10 +223,22 @@ class ImputationService:
 
         Resolution happens eagerly (unknown specs fail here, not at flush);
         reaching ``max_batch_requests`` pending requests for one model
-        triggers an immediate flush of that model's queue.
+        triggers an immediate flush of that model's queue.  With
+        ``max_queue_depth`` set, a submit that would exceed it is rejected
+        with :class:`~repro.serving.pool.ServiceOverloaded` before a ticket
+        is issued — load shedding happens at admission, not mid-flight.
         """
         if not isinstance(request, ImputationRequest):
             raise TypeError("submit expects an ImputationRequest")
+        if self.max_queue_depth is not None:
+            waiting = self.pending()
+            if self.executor is not None:
+                waiting += self.executor.backlog()
+            if waiting >= self.max_queue_depth:
+                raise ServiceOverloaded(
+                    f"{waiting} requests already waiting "
+                    f"(max_queue_depth={self.max_queue_depth})"
+                )
         resolved = self.registry.resolve(request.model)
         key = (resolved.name, resolved.version)
         rng = self._request_rng(request)
@@ -266,9 +319,9 @@ class ImputationService:
             return np.random.default_rng(self._seeds.spawn(1)[0])
 
     def stats(self):
-        """Serving counters: batches, coalescing, registry LRU."""
+        """Serving counters: batches, coalescing, registry LRU, executor."""
         average = self.requests_served / self.batches if self.batches else 0.0
-        return {
+        stats = {
             "requests_served": self.requests_served,
             "batches": self.batches,
             "average_batch_requests": average,
@@ -276,6 +329,9 @@ class ImputationService:
             "coalesced_requests": self.coalesced_requests,
             "registry": self.registry.stats(),
         }
+        if self.executor is not None and hasattr(self.executor, "stats"):
+            stats["executor"] = self.executor.stats()
+        return stats
 
     # ------------------------------------------------------------------
     # Background worker (deadline enforcement without client polling)
@@ -292,7 +348,14 @@ class ImputationService:
         return self
 
     def stop(self):
-        """Stop the worker and serve whatever is still queued."""
+        """Stop the worker and serve whatever is still queued.
+
+        With an executor the final flush *dispatches* the stragglers; the
+        call then blocks until **this service's** in-flight requests have all
+        resolved, so every ticket issued before ``stop`` is resolved when it
+        returns.  (The pool itself keeps running — it may back other
+        services — stop it separately.)
+        """
         with self._cond:
             worker, self._worker = self._worker, None
             self._stop_worker = True
@@ -300,6 +363,8 @@ class ImputationService:
         if worker is not None:
             worker.join()
         self.flush()
+        with self._cond:
+            self._cond.wait_for(lambda: self._inflight_requests == 0)
 
     def __enter__(self):
         return self.start()
@@ -332,16 +397,19 @@ class ImputationService:
     # Batch execution
     # ------------------------------------------------------------------
     def _run_batches(self, batches):
-        """Serve each popped batch; one model's failure must not strand the
-        others (their entries are already off the queues, so skipping them
-        would leave their tickets unresolvable).  The first error re-raises
-        after every batch has been driven — each failed batch's tickets
-        already carry their own error."""
+        """Serve (or dispatch) each popped batch; one model's failure must
+        not strand the others (their entries are already off the queues, so
+        skipping them would leave their tickets unresolvable).  The first
+        error re-raises after every batch has been driven — each failed
+        batch's tickets already carry their own error."""
         served = 0
         first_error = None
         for resolved, queue in batches:
             try:
-                self._process_batch(resolved, queue)
+                if self.executor is not None:
+                    self._dispatch_batch(resolved, queue)
+                else:
+                    self._process_batch(resolved, queue)
             except Exception as error:
                 if first_error is None:
                     first_error = error
@@ -350,26 +418,76 @@ class ImputationService:
             raise first_error
         return served
 
+    @staticmethod
+    def _payload(entry):
+        """The entry's picklable execution inputs (see :mod:`.pool`)."""
+        return RequestPayload(
+            values=entry.request.values,
+            observed_mask=entry.request.observed_mask,
+            num_samples=entry.request.num_samples,
+            rng=entry.rng,
+            stride=entry.request.stride,
+        )
+
+    def _track(self, count):
+        """Count ``count`` requests as executing (inline or on the executor);
+        :meth:`_complete` / :meth:`_fail` balance it when tickets resolve."""
+        with self._cond:
+            self._inflight_requests += count
+
+    def _untrack(self, count):
+        with self._cond:
+            self._inflight_requests -= count
+            self._cond.notify_all()
+
     def _process_batch(self, resolved, entries):
-        """Serve one model's micro-batch; tickets absorb any failure."""
+        """Serve one model's micro-batch inline; tickets absorb any failure."""
         started = self.clock()
+        self._track(len(entries))
         try:
             with self._serve_lock:
                 backend = self.registry.backend(resolved)
-                if hasattr(backend, "plan_request"):
-                    raws = self._run_coalesced(backend, entries)
-                else:
-                    raws = [
-                        backend.impute_arrays(
-                            entry.request.values, entry.request.observed_mask,
-                            num_samples=entry.request.num_samples,
-                        )
-                        for entry in entries
-                    ]
+                raws = execute_batch(backend,
+                                     [self._payload(entry) for entry in entries])
         except Exception as error:
-            for entry in entries:
-                entry.ticket._resolve(None, error)
+            self._fail(entries, error)
             raise
+        self._complete(resolved, entries, raws, started)
+
+    def _dispatch_batch(self, resolved, entries):
+        """Hand one model's micro-batch to the executor's shard queue.
+
+        The completion hooks run on the worker thread; a dispatch-time
+        rejection (pool overloaded or stopped) resolves the tickets here and
+        re-raises so the flusher sees it.
+        """
+        started = self.clock()
+        task = BatchTask(
+            spec=resolved.spec,
+            artifact_path=resolved.path,
+            payloads=[self._payload(entry) for entry in entries],
+            on_done=lambda raws: self._complete(resolved, entries, raws, started),
+            on_error=lambda error: self._fail(entries, error),
+        )
+        self._track(len(entries))
+        try:
+            self.executor.dispatch(task)
+        except Exception as error:
+            # Rejected before the pool accepted it (overload/stopped), so the
+            # completion hooks will never fire — resolve the tickets here.
+            self._fail(entries, error)
+            raise
+
+    def _fail(self, entries, error):
+        # Tickets resolve BEFORE the in-flight count drops: stop() returns
+        # when the count hits zero, and its contract is that every ticket is
+        # resolved by then.
+        for entry in entries:
+            entry.ticket._resolve(None, error)
+        self._untrack(len(entries))
+
+    def _complete(self, resolved, entries, raws, started):
+        """Resolve a served batch's tickets and update the counters."""
         batch_seconds = self.clock() - started
         with self._lock:
             self.batches += 1
@@ -389,32 +507,8 @@ class ImputationService:
                 batch_seconds=batch_seconds,
             )
             entry.ticket._resolve(response)
-
-    @staticmethod
-    def _run_coalesced(backend, entries):
-        """Plan every request, run ONE engine pass, reassemble per request.
-
-        The plan protocol is what makes this safe: each item carries its
-        request's private RNG stream, and the engine's shape-grouped
-        chunking preserves submission order, so the samples drawn for a
-        request do not depend on its batch mates.
-        """
-        jobs = [
-            backend.plan_request(
-                entry.request.values, entry.request.observed_mask,
-                num_samples=entry.request.num_samples,
-                rng=entry.rng, stride=entry.request.stride,
-            )
-            for entry in entries
-        ]
-        items = [item for job in jobs for item in job.items]
-        with backend.eval_mode():
-            flat = backend.engine.sample_plans(items)
-        raws, offset = [], 0
-        for job in jobs:
-            raws.append(backend.assemble(job, flat[offset:offset + len(job.items)]))
-            offset += len(job.items)
-        return raws
+        # After the tickets: see _fail for the ordering contract with stop().
+        self._untrack(len(entries))
 
     def _to_key(self, model):
         if isinstance(model, tuple):

@@ -15,6 +15,7 @@ differences in ``tests/tensor``.
 from __future__ import annotations
 
 import contextlib
+import threading
 
 import numpy as np
 
@@ -28,7 +29,16 @@ __all__ = [
     "dtype_scope",
 ]
 
-_GRAD_ENABLED = [True]
+# Both interpreter-wide switches have a *thread-local* override layer: the
+# process-wide value is what ``set_default_dtype`` writes, while ``dtype_scope``
+# and ``no_grad`` only ever touch the calling thread's view.  The serving
+# worker pool runs concurrent inference on sibling threads, and a scope
+# entered by one request must not change the numerics (dtype casts) or the
+# graph policy of a request running on another thread — that isolation is part
+# of the micro-batching bit-identity contract.
+_STATE = threading.local()
+
+_GRAD_ENABLED_DEFAULT = True
 
 _DEFAULT_DTYPE = [np.dtype(np.float64)]
 
@@ -36,12 +46,14 @@ _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def set_default_dtype(dtype):
-    """Set the dtype used for newly created leaf tensors.
+    """Set the dtype used for newly created leaf tensors (process-wide).
 
     ``float64`` (the default) is required for finite-difference gradient
     checking; ``float32`` halves the memory traffic of the training and
     inference hot paths.  Operation *results* always follow their input
     dtypes, so an existing graph is unaffected by changing the default.
+    Prefer :func:`dtype_scope` inside library code — it is scoped to the
+    calling thread and restores itself.
     """
     dtype = np.dtype(dtype)
     if dtype not in _FLOAT_DTYPES:
@@ -50,8 +62,13 @@ def set_default_dtype(dtype):
 
 
 def get_default_dtype():
-    """Return the dtype used for newly created leaf tensors."""
-    return _DEFAULT_DTYPE[0]
+    """Return the dtype used for newly created leaf tensors.
+
+    The calling thread's :func:`dtype_scope` override wins over the
+    process-wide :func:`set_default_dtype` value.
+    """
+    override = getattr(_STATE, "dtype_override", None)
+    return _DEFAULT_DTYPE[0] if override is None else override
 
 
 @contextlib.contextmanager
@@ -59,37 +76,43 @@ def dtype_scope(dtype):
     """Context manager that temporarily changes the default dtype.
 
     Used by the imputers to run a whole ``fit()`` / ``impute()`` in
-    ``float32`` while leaving the process-wide default untouched.
+    ``float32`` while leaving the process-wide default untouched.  The scope
+    is **thread-local**: a pool worker loading a ``float32`` model never
+    changes the dtype another worker's in-flight ``float64`` request resolves.
     """
-    previous = _DEFAULT_DTYPE[0]
-    set_default_dtype(dtype)
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError("default dtype must be float32 or float64")
+    previous = getattr(_STATE, "dtype_override", None)
+    _STATE.dtype_override = dtype
     try:
         yield
     finally:
-        _DEFAULT_DTYPE[0] = previous
+        _STATE.dtype_override = previous
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (thread-local).
 
     Used by samplers and evaluation loops where gradients are never needed,
     which keeps memory flat during the (potentially long) reverse diffusion
-    process.
+    process.  Only the calling thread's graph policy changes, so concurrent
+    training and serving threads cannot flip each other's recording state.
     """
 
     def __enter__(self):
-        self._prev = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
+        self._prev = getattr(_STATE, "grad_enabled", _GRAD_ENABLED_DEFAULT)
+        _STATE.grad_enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        _GRAD_ENABLED[0] = self._prev
+        _STATE.grad_enabled = self._prev
         return False
 
 
 def is_grad_enabled():
     """Return ``True`` when new operations will be recorded on the graph."""
-    return _GRAD_ENABLED[0]
+    return getattr(_STATE, "grad_enabled", _GRAD_ENABLED_DEFAULT)
 
 
 def _unbroadcast(grad, shape):
@@ -143,7 +166,7 @@ class Tensor:
     def __init__(self, data, requires_grad=False, _parents=(), name=None, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE[0])
+        self.data = np.asarray(data, dtype=dtype or get_default_dtype())
         self.grad = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward = None

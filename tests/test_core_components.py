@@ -172,7 +172,8 @@ class TestPriSTINetwork:
 
     def test_gradients_reach_all_parameters(self, rng, adjacency):
         network, _ = self._network(rng, adjacency)
-        out = network(rng.standard_normal((2, 5, 6)), rng.standard_normal((2, 5, 6)), np.array([1, 4]))
+        out = network(rng.standard_normal((2, 5, 6)),
+                      rng.standard_normal((2, 5, 6)), np.array([1, 4]))
         (out * out).sum().backward()
         named = dict(network.named_parameters())
         with_grad = [name for name, parameter in named.items() if parameter.grad is not None]

@@ -5,7 +5,6 @@ import pytest
 
 from repro.data import (
     DatasetSplit,
-    SpatioTemporalDataset,
     StandardScaler,
     WindowSampler,
     aqi36_like,
@@ -120,14 +119,16 @@ class TestSyntheticGenerators:
 
 class TestWindowSampler:
     def test_window_count_and_shape(self, tiny_traffic_dataset):
-        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train", window_length=12, stride=12)
+        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train",
+                                             window_length=12, stride=12)
         assert len(sampler) >= 1
         values, observed, evaluation = sampler.window(0)
         assert values.shape == (6, 12)
         assert observed.dtype == bool and evaluation.dtype == bool
 
     def test_batches_cover_all_windows(self, tiny_traffic_dataset):
-        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train", window_length=8, stride=8)
+        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train",
+                                             window_length=8, stride=8)
         seen = 0
         for batch in sampler.iter_batches(batch_size=3):
             assert batch.values.shape[1:] == (6, 8)
@@ -146,7 +147,8 @@ class TestWindowSampler:
             WindowSampler.from_dataset(tiny_traffic_dataset, "valid", window_length=10_000)
 
     def test_shuffle_changes_order(self, tiny_traffic_dataset):
-        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train", window_length=4, stride=2)
+        sampler = WindowSampler.from_dataset(tiny_traffic_dataset, "train",
+                                             window_length=4, stride=2)
         ordered = [batch.starts.tolist() for batch in sampler.iter_batches(4)]
         shuffled = [batch.starts.tolist() for batch in
                     sampler.iter_batches(4, shuffle=True, rng=np.random.default_rng(0))]

@@ -5,7 +5,6 @@ cycle stays fast; they verify the plumbing (rows, columns, finite values), not
 the quality of the numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import PriSTI

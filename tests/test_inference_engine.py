@@ -63,7 +63,8 @@ class TestEngineMechanics:
     def test_chunk_size_does_not_change_results(self):
         values = np.linspace(-1, 1, 36).reshape(18, 2)
         mask = np.ones((18, 2), dtype=bool)
-        build = lambda v, m: np.asarray(v, dtype=np.float64)
+        def build(v, m):
+            return np.asarray(v, dtype=np.float64)
         reference = None
         for batch_size in (1, 2, 3, 7, 64, None):
             engine = self._engine(inference_batch_size=batch_size)
@@ -121,7 +122,8 @@ class TestEngineMechanics:
 
     def test_invalid_arguments_rejected(self):
         diffusion = GaussianDiffusion(quadratic_schedule(4), rng=np.random.default_rng(0))
-        predict = lambda *a, **k: None
+        def predict(*a, **k):
+            return None
         with pytest.raises(ValueError):
             InferenceEngine(diffusion, predict, parameterization="bogus")
         with pytest.raises(ValueError):

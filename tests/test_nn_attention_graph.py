@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.tensor import Tensor, softmax
+from repro.tensor import Tensor
 
 
 @pytest.fixture

@@ -13,8 +13,6 @@ Covers the four layers of the refactor:
 * the :class:`~repro.serving.StreamingImputer` ring-buffer sessions.
 """
 
-import threading
-
 import numpy as np
 import pytest
 

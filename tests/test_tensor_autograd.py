@@ -26,7 +26,9 @@ def _t(rng, *shape):
 class TestElementwiseGradients:
     def test_add_mul_sub_div(self, rng):
         a, b = _t(rng, 3, 4), _t(rng, 3, 4)
-        check_gradient(lambda ts: ((ts[0] + ts[1]) * ts[0] - ts[1] / (ts[0] * ts[0] + 2.0)).sum(), [a, b])
+        check_gradient(
+            lambda ts: ((ts[0] + ts[1]) * ts[0] - ts[1] / (ts[0] * ts[0] + 2.0)).sum(),
+            [a, b])
 
     def test_scalar_broadcasting(self, rng):
         a = _t(rng, 4, 3)
@@ -46,7 +48,9 @@ class TestElementwiseGradients:
 
     def test_tanh_sigmoid_relu(self, rng):
         a = _t(rng, 3, 5)
-        check_gradient(lambda ts: (ts[0].tanh() + ts[0].sigmoid() + (ts[0] + 5.0).relu()).sum(), [a])
+        check_gradient(
+            lambda ts: (ts[0].tanh() + ts[0].sigmoid() + (ts[0] + 5.0).relu()).sum(),
+            [a])
 
     def test_clip_gradient_masked(self, rng):
         a = Tensor(np.linspace(-2, 2, 9).reshape(3, 3), requires_grad=True)

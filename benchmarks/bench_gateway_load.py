@@ -1,0 +1,316 @@
+"""Gateway load test: open- and closed-loop traffic over real sockets.
+
+The HTTP gateway (:mod:`repro.serving.gateway`) fronts the micro-batching
+:class:`~repro.serving.ImputationService`; this benchmark measures what a
+network client actually experiences.  It boots a :class:`GatewayServer` on an
+ephemeral localhost port, then drives it two ways:
+
+* **closed-loop** — ``C`` concurrent clients, each firing synchronous
+  ``POST /v1/impute?sync=1`` requests back-to-back; sweeping ``C`` maps the
+  concurrency/throughput curve and the micro-batcher's coalescing under it;
+* **open-loop** — requests arrive on a fixed schedule regardless of
+  completions (a Locust-style arrival process), so queueing delay shows up
+  in the measured latency instead of being hidden by client back-pressure.
+
+Each request's wall-clock latency is recorded; the payload carries
+p50/p95/p99 per concurrency level plus throughput and error counts.
+Latency numbers are recorded, not floored — shared CI runners cannot hold a
+wall-clock promise — but two invariants are enforced unconditionally:
+
+* **zero errors**: every generated request returns 200;
+* **bit-identity**: a gateway response decodes to arrays byte-identical to
+  ``service.serve()`` called directly (both codecs), and graceful drain
+  resolves every in-flight ticket.
+
+Results land in ``benchmarks/results/gateway_load.json`` and are validated
+by ``benchmarks/check_results.py``.  Run directly
+(``PYTHONPATH=src python benchmarks/bench_gateway_load.py``) or through
+pytest (``pytest benchmarks/bench_gateway_load.py``).
+"""
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Gateway,
+    GatewayServer,
+    ImputationRequest,
+    ImputationService,
+    ModelRegistry,
+    PriSTI,
+    PriSTIConfig,
+)
+from repro.data import metr_la_like
+from repro.experiments import get_profile
+from repro.serving.gateway import (
+    JSON_CONTENT_TYPE,
+    NPZ_CONTENT_TYPE,
+    GatewayClient,
+    encode_impute_request,
+    submit_and_fetch,
+)
+
+CONCURRENCY_SWEEP = (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 4        # closed-loop: per-client request count
+OPEN_LOOP_REQUESTS = 24
+OPEN_LOOP_RATE_FACTOR = 0.75   # arrival rate as a fraction of closed-loop peak
+NUM_SAMPLES = 1
+NUM_NODES = 6
+WINDOW_LENGTH = 12
+NUM_DIFFUSION_STEPS = 20
+REQUEST_TIMEOUT = 120.0
+
+
+def _smoke_mode():
+    return get_profile().name == "smoke"
+
+
+def _sweep():
+    """Smoke profile keeps the gate fast: two concurrency levels, small open
+    loop; the full profile runs the whole curve."""
+    if _smoke_mode():
+        return (1, 4), 2, 8
+    return CONCURRENCY_SWEEP, REQUESTS_PER_CLIENT, OPEN_LOOP_REQUESTS
+
+
+def _build_gateway(root):
+    dataset = metr_la_like(num_nodes=NUM_NODES, num_days=4, steps_per_day=24,
+                           missing_pattern="block", seed=3)
+    steps = 8 if _smoke_mode() else NUM_DIFFUSION_STEPS
+    config = PriSTIConfig.fast(
+        window_length=WINDOW_LENGTH, epochs=1, iterations_per_epoch=1,
+        num_diffusion_steps=steps, num_samples=NUM_SAMPLES,
+    )
+    model = PriSTI(config).fit(dataset)
+    registry = ModelRegistry(root)
+    registry.publish(model, "bench")
+    service = ImputationService(registry, max_batch_requests=max(CONCURRENCY_SWEEP),
+                                max_delay_seconds=0.005)
+    return Gateway(service), dataset, steps
+
+
+def _requests(dataset, count):
+    values, observed, evaluation = dataset.segment("test")
+    input_mask = observed & ~evaluation
+    last_start = values.shape[0] - WINDOW_LENGTH
+    assert last_start >= 0, "test segment shorter than one window"
+    return [
+        ImputationRequest(
+            model="bench",
+            values=values[(index % (last_start + 1)):
+                          (index % (last_start + 1)) + WINDOW_LENGTH],
+            observed_mask=input_mask[(index % (last_start + 1)):
+                                     (index % (last_start + 1)) + WINDOW_LENGTH],
+            num_samples=NUM_SAMPLES,
+            seed=2000 + index,
+        )
+        for index in range(count)
+    ]
+
+
+def _percentiles(latencies_seconds):
+    """p50/p95/p99 in milliseconds from a list of per-request latencies."""
+    array = np.asarray(latencies_seconds, dtype=np.float64) * 1000.0
+    return {
+        "p50": round(float(np.percentile(array, 50)), 2),
+        "p95": round(float(np.percentile(array, 95)), 2),
+        "p99": round(float(np.percentile(array, 99)), 2),
+    }
+
+
+async def _fire_sync(host, port, body):
+    """One synchronous impute over a fresh connection; returns (latency, ok)."""
+    client = GatewayClient(host, port)
+    started = time.perf_counter()
+    try:
+        response = await asyncio.wait_for(
+            client.request("POST", "/v1/impute?sync=1", body=body,
+                           headers={"Content-Type": JSON_CONTENT_TYPE}),
+            timeout=REQUEST_TIMEOUT)
+        return time.perf_counter() - started, response.status == 200
+    except (OSError, asyncio.TimeoutError):
+        return time.perf_counter() - started, False
+    finally:
+        await client.close()
+
+
+async def _closed_loop(host, port, bodies, concurrency, per_client):
+    """``concurrency`` clients, each issuing ``per_client`` requests
+    back-to-back over a keep-alive connection."""
+    latencies, errors = [], 0
+
+    async def worker(worker_index):
+        nonlocal errors
+        client = GatewayClient(host, port)
+        try:
+            for turn in range(per_client):
+                body = bodies[(worker_index * per_client + turn) % len(bodies)]
+                started = time.perf_counter()
+                try:
+                    response = await asyncio.wait_for(
+                        client.request(
+                            "POST", "/v1/impute?sync=1", body=body,
+                            headers={"Content-Type": JSON_CONTENT_TYPE}),
+                        timeout=REQUEST_TIMEOUT)
+                    ok = response.status == 200
+                except (OSError, asyncio.TimeoutError):
+                    ok = False
+                latencies.append(time.perf_counter() - started)
+                if not ok:
+                    errors += 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(index) for index in range(concurrency)))
+    seconds = time.perf_counter() - started
+    requests = concurrency * per_client
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "errors": errors,
+        "seconds": round(seconds, 4),
+        "requests_per_second": round(requests / seconds, 2),
+        "latency_ms": _percentiles(latencies),
+    }, requests, errors
+
+
+async def _open_loop(host, port, bodies, rate, total):
+    """Fixed-rate arrivals: a request fires every ``1/rate`` seconds whether
+    or not earlier ones finished; latency includes schedule slippage."""
+    interval = 1.0 / rate
+    tasks = []
+    for index in range(total):
+        tasks.append(asyncio.ensure_future(
+            _fire_sync(host, port, bodies[index % len(bodies)])))
+        await asyncio.sleep(interval)
+    outcomes = await asyncio.gather(*tasks)
+    latencies = [latency for latency, _ in outcomes]
+    errors = sum(1 for _, ok in outcomes if not ok)
+    return {
+        "rate_requests_per_second": round(rate, 2),
+        "requests": total,
+        "errors": errors,
+        "latency_ms": _percentiles(latencies),
+    }, total, errors
+
+
+async def _identity_and_drain_checks(gateway, host, port, requests):
+    """The correctness half of the acceptance criteria: wire responses are
+    bit-identical to ``serve()``, and shutdown resolves every ticket."""
+    identical = True
+    for codec in (JSON_CONTENT_TYPE, NPZ_CONTENT_TYPE):
+        client = GatewayClient(host, port)
+        try:
+            payload, status = await submit_and_fetch(client, requests[0],
+                                                     codec=codec)
+        finally:
+            await client.close()
+        reference = gateway.service.serve(requests[0])
+        identical = identical and status == 200 and all(
+            np.array_equal(payload[key], getattr(reference, key))
+            and payload[key].dtype == getattr(reference, key).dtype
+            for key in ("median", "samples", "values", "observed_mask")
+        )
+
+    # Queue async submissions, then drain with them still pending.
+    client = GatewayClient(host, port)
+    try:
+        tickets = []
+        for request in requests[:4]:
+            response = await client.request(
+                "POST", "/v1/impute",
+                body=encode_impute_request(request),
+                headers={"Content-Type": JSON_CONTENT_TYPE})
+            tickets.append(response.json()["ticket"])
+        await gateway.drain()
+        resolved = all(record.pending.done
+                       for record in gateway._tickets.values())
+        fetched = []
+        for ticket in tickets:
+            response = await client.request("GET", f"/v1/result/{ticket}")
+            fetched.append(response.status == 200)
+    finally:
+        await client.close()
+    return identical, resolved and all(fetched)
+
+
+async def _run_async(gateway, dataset):
+    sweep, per_client, open_total = _sweep()
+    bodies = [encode_impute_request(request)
+              for request in _requests(dataset, max(sweep) * per_client)]
+
+    async with GatewayServer(gateway) as server:
+        host, port = server.host, server.port
+        # Warm-up: first request pays lazy allocations + artifact load.
+        await _fire_sync(host, port, bodies[0])
+
+        total_requests, total_errors = 0, 0
+        closed = {}
+        for concurrency in sweep:
+            cell, requests, errors = await _closed_loop(
+                host, port, bodies, concurrency, per_client)
+            closed[str(concurrency)] = cell
+            total_requests += requests
+            total_errors += errors
+
+        peak = max(cell["requests_per_second"] for cell in closed.values())
+        open_cell, requests, errors = await _open_loop(
+            host, port, bodies, max(0.5, peak * OPEN_LOOP_RATE_FACTOR),
+            open_total)
+        total_requests += requests
+        total_errors += errors
+
+        identical, drained = await _identity_and_drain_checks(
+            gateway, host, port, _requests(dataset, 4))
+
+    return {
+        "num_nodes": NUM_NODES,
+        "window_length": WINDOW_LENGTH,
+        "num_samples": NUM_SAMPLES,
+        "closed_loop": closed,
+        "open_loop": open_cell,
+        "num_requests_total": total_requests,
+        "num_errors_total": total_errors,
+        "error_rate": round(total_errors / total_requests, 6),
+        "peak_requests_per_second": peak,
+        "bit_identical_to_serve_alone": identical,
+        "drain_resolved_all_tickets": drained,
+    }
+
+
+def run_benchmark():
+    with tempfile.TemporaryDirectory() as root:
+        gateway, dataset, steps = _build_gateway(root)
+        payload = asyncio.run(_run_async(gateway, dataset))
+    payload["num_diffusion_steps"] = steps
+    return payload
+
+
+def test_bench_gateway_load(save_json):
+    payload = run_benchmark()
+    save_json("gateway_load", payload)
+    # Latency is recorded, not floored; correctness is unconditional.
+    assert payload["error_rate"] == 0.0
+    assert payload["bit_identical_to_serve_alone"]
+    assert payload["drain_resolved_all_tickets"]
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "gateway_load.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if payload["error_rate"] != 0.0:
+        raise SystemExit(f"{payload['num_errors_total']} request(s) failed")
+    if not payload["bit_identical_to_serve_alone"]:
+        raise SystemExit("gateway responses diverged from serve-alone")
+    if not payload["drain_resolved_all_tickets"]:
+        raise SystemExit("graceful drain left tickets unresolved")

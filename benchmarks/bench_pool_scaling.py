@@ -6,7 +6,8 @@ models executes in parallel — thread workers overlap in the BLAS kernels
 (which release the GIL), process workers overlap unconditionally.  This
 benchmark publishes one trained model under ``NUM_SHARDS`` names, fires the
 same seeded request burst at pools of 1, 2 and 4 workers in both modes, and
-records the throughput curve.
+records the throughput curve plus per-request latency percentiles
+(p50/p95/p99 of queue wait + batch execution) for every cell.
 
 Floors
 ------
@@ -57,6 +58,16 @@ NUM_DIFFUSION_STEPS = 20
 
 def _smoke_mode():
     return get_profile().name == "smoke"
+
+
+def _percentiles(latencies_seconds):
+    """p50/p95/p99 in milliseconds from per-request latencies."""
+    array = np.asarray(latencies_seconds, dtype=np.float64) * 1000.0
+    return {
+        "p50": round(float(np.percentile(array, 50)), 2),
+        "p95": round(float(np.percentile(array, 95)), 2),
+        "p99": round(float(np.percentile(array, 99)), 2),
+    }
 
 
 def _floor_enforced():
@@ -150,6 +161,11 @@ def run_benchmark():
                 cells[num_workers] = {
                     "seconds": round(seconds, 4),
                     "requests_per_second": round(len(requests) / seconds, 2),
+                    # Per-request latency inside the pool: queue wait + the
+                    # batch execution the request rode in.
+                    "latency_ms": _percentiles(
+                        [response.queued_seconds + response.batch_seconds
+                         for response in responses]),
                 }
             base = cells[WORKER_COUNTS[0]]["seconds"]
             modes[mode] = {

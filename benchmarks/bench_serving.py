@@ -14,7 +14,11 @@ requests served two ways:
 
 Per-request RNG streams make the two paths bit-identical per request (the
 benchmark asserts it), so the measured difference is pure batching: the
-floor is ``MIN_SPEEDUP``x throughput.  Results are written to
+floor is ``MIN_SPEEDUP``x throughput.  Both paths also record per-request
+latency percentiles (p50/p95/p99, milliseconds) — serial as each call's
+wall-clock, batched as queue wait plus shared batch execution — so the
+latency cost of coalescing is visible next to the throughput win.
+Results are written to
 ``benchmarks/results/serving.json``.  Run directly
 (``PYTHONPATH=src python benchmarks/bench_serving.py``) or through pytest
 (``pytest benchmarks/bench_serving.py``).
@@ -50,6 +54,16 @@ def _smoke_mode():
     (shared runners make speedup ratios unreliable); the bit-identity
     assertions always apply."""
     return get_profile().name == "smoke"
+
+
+def _percentiles(latencies_seconds):
+    """p50/p95/p99 in milliseconds from per-request latencies."""
+    array = np.asarray(latencies_seconds, dtype=np.float64) * 1000.0
+    return {
+        "p50": round(float(np.percentile(array, 50)), 2),
+        "p95": round(float(np.percentile(array, 95)), 2),
+        "p99": round(float(np.percentile(array, 99)), 2),
+    }
 
 
 def _build_service(root):
@@ -92,7 +106,11 @@ def run_benchmark():
         service.serve(requests[0])
 
         started = time.perf_counter()
-        serial = [service.serve(request) for request in requests]
+        serial, serial_latencies = [], []
+        for request in requests:
+            request_started = time.perf_counter()
+            serial.append(service.serve(request))
+            serial_latencies.append(time.perf_counter() - request_started)
         serial_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -100,6 +118,10 @@ def run_benchmark():
         service.flush()
         batched = [ticket.result() for ticket in tickets]
         batched_seconds = time.perf_counter() - started
+        # Per-request latency inside the micro-batch: queue wait + the shared
+        # batch execution the request rode in.
+        batched_latencies = [response.queued_seconds + response.batch_seconds
+                             for response in batched]
 
     identical = all(
         np.array_equal(alone.samples, together.samples)
@@ -115,6 +137,8 @@ def run_benchmark():
         "serial_requests_per_second": round(NUM_REQUESTS / serial_seconds, 2),
         "batched_requests_per_second": round(NUM_REQUESTS / batched_seconds, 2),
         "throughput_speedup": round(serial_seconds / batched_seconds, 2),
+        "serial_latency_ms": _percentiles(serial_latencies),
+        "batched_latency_ms": _percentiles(batched_latencies),
         "batch_requests_observed": batched[0].batch_requests,
         "mean_queued_seconds": round(
             float(np.mean([response.queued_seconds for response in batched])), 4),

@@ -61,16 +61,35 @@ BASELINES = {
     },
     "serving.json": {
         "required": ["serial_seconds", "batched_seconds", "throughput_speedup",
-                     "num_requests", "batch_requests_observed"],
+                     "num_requests", "batch_requests_observed",
+                     "serial_latency_ms.p50", "serial_latency_ms.p95",
+                     "serial_latency_ms.p99", "batched_latency_ms.p50",
+                     "batched_latency_ms.p95", "batched_latency_ms.p99"],
         "flags": ["bit_identical_to_serve_alone"],
         "min": {"throughput_speedup": 2.0},
     },
     "pool_scaling.json": {
         "required": ["cpu_count", "num_requests", "modes", "speedup_at_4",
-                     "min_scaling_floor"],
+                     "min_scaling_floor",
+                     "modes.thread.workers.1.latency_ms.p50",
+                     "modes.thread.workers.4.latency_ms.p99",
+                     "modes.process.workers.1.latency_ms.p50",
+                     "modes.process.workers.4.latency_ms.p99"],
         "flags": ["bit_identical_to_serve_alone"],
         "min": {"speedup_at_4": 2.0},
         "enforced_by": "scaling_floor_enforced",
+    },
+    "gateway_load.json": {
+        "required": ["closed_loop", "open_loop", "num_requests_total",
+                     "num_errors_total", "error_rate",
+                     "peak_requests_per_second",
+                     "open_loop.latency_ms.p50", "open_loop.latency_ms.p95",
+                     "open_loop.latency_ms.p99",
+                     "closed_loop.1.latency_ms.p50",
+                     "closed_loop.1.latency_ms.p99"],
+        "flags": ["bit_identical_to_serve_alone",
+                  "drain_resolved_all_tickets"],
+        "max": {"error_rate": 0.0},
     },
 }
 

@@ -21,15 +21,23 @@ take:
    responses stay bit-identical to serve-alone,
 4. open a :class:`~repro.serving.StreamingImputer` session and feed it a
    live tick stream (NaN = sensor dropout), printing incremental
-   imputations as they are emitted.
+   imputations as they are emitted,
+5. put the HTTP **gateway** in front of the service: boot a
+   :class:`~repro.serving.GatewayServer` on an ephemeral localhost port,
+   fire requests over real sockets (async submit + ticket fetch, NPZ
+   round-trip), read ``/v1/stats``, then drain gracefully — queued tickets
+   all resolve, new work gets ``503``.
 """
 
+import asyncio
 import tempfile
 import time
 
 import numpy as np
 
 from repro import (
+    Gateway,
+    GatewayServer,
     ImputationRequest,
     ImputationService,
     ModelRegistry,
@@ -39,6 +47,13 @@ from repro import (
     WorkerPool,
 )
 from repro.data import metr_la_like
+from repro.serving.gateway import (
+    NPZ_CONTENT_TYPE,
+    GatewayClient,
+    decode_response_body,
+    encode_impute_request,
+    submit_and_fetch,
+)
 
 
 def main():
@@ -132,9 +147,73 @@ def main():
           f"{stream.condition_cache_misses} condition builds, "
           f"{stream.condition_cache_hits} cache hits")
 
+    # 5. The HTTP gateway: the same service behind real sockets.
+    asyncio.run(gateway_demo(registry, requests))
+
     # Tidy up the demo registry.
     import shutil
     shutil.rmtree(root, ignore_errors=True)
+
+
+async def gateway_demo(registry, requests):
+    """Boot the gateway, talk to it over localhost HTTP, drain gracefully."""
+    service = ImputationService(registry, max_batch_requests=8,
+                                max_delay_seconds=0.005)
+    gateway = Gateway(service)
+    async with GatewayServer(gateway) as server:   # ephemeral port
+        print(f"\ngateway listening on http://{server.host}:{server.port}")
+        client = GatewayClient(server.host, server.port)
+
+        health = await client.request("GET", "/v1/healthz")
+        print(f"GET /v1/healthz -> {health.status} {health.json()}")
+
+        # Async submit: 202 + a ticket, fetched (blocking) at /v1/result.
+        submitted = await client.request(
+            "POST", "/v1/impute", body=encode_impute_request(requests[0]),
+            headers={"Content-Type": "application/json"})
+        ticket = submitted.json()["ticket"]
+        print(f"POST /v1/impute -> {submitted.status} ticket={ticket}")
+        fetched = await client.request("GET", f"/v1/result/{ticket}?timeout=60")
+        payload = decode_response_body(fetched.content_type, fetched.body)
+        print(f"GET /v1/result/{ticket} -> {fetched.status}, "
+              f"median shape {payload['median'].shape}")
+
+        # Same round trip over the binary NPZ codec.
+        payload, status = await submit_and_fetch(client, requests[1],
+                                                 codec=NPZ_CONTENT_TYPE)
+        print(f"NPZ round-trip -> {status}, "
+              f"{payload['samples'].shape[0]} samples "
+              f"({payload['samples'].dtype})")
+
+        stats = await client.request("GET", "/v1/stats")
+        print(f"GET /v1/stats -> {stats.json()['gateway']}")
+        await client.close()
+
+    # Graceful drain, shown on a slow service so tickets are genuinely
+    # queued when it starts: drain resolves them all, results stay
+    # fetchable, and new work is refused with 503.
+    slow_service = ImputationService(registry, max_batch_requests=100,
+                                     max_delay_seconds=30.0)
+    slow_gateway = Gateway(slow_service)
+    async with GatewayServer(slow_gateway) as server:
+        client = GatewayClient(server.host, server.port)
+        tickets = []
+        for request in requests[2:6]:
+            response = await client.request(
+                "POST", "/v1/impute", body=encode_impute_request(request),
+                headers={"Content-Type": "application/json"})
+            tickets.append(response.json()["ticket"])
+        print(f"\nqueued {len(tickets)} tickets, draining...")
+        await slow_gateway.drain()
+        statuses = [
+            (await client.request("GET", f"/v1/result/{t}")).status
+            for t in tickets
+        ]
+        refused = await client.request(
+            "POST", "/v1/impute", body=encode_impute_request(requests[0]),
+            headers={"Content-Type": "application/json"})
+        print(f"drained: results -> {statuses}, new submit -> {refused.status}")
+        await client.close()
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ from .inference import DiffusionBackend, InferenceEngine, WindowedBackend
 from .training import Trainer, TrainingPlan
 from .io import ArtifactError, load_model, save_model
 from .serving import (
+    Gateway,
+    GatewayServer,
     ImputationRequest,
     ImputationResponse,
     ImputationService,
@@ -59,6 +61,8 @@ __all__ = [
     "WorkerPool",
     "ServiceOverloaded",
     "StreamingImputer",
+    "Gateway",
+    "GatewayServer",
     "linear_interpolation",
     "__version__",
 ]

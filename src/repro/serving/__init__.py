@@ -22,8 +22,20 @@ production-facing counterpart built on the stateless
     Tick-by-tick sessions over live sensor streams, backed by a ring-buffer
     sliding window with per-window condition caching and incremental
     emissions.
+:class:`Gateway` / :class:`GatewayServer`
+    The wire protocol in front of all of it: a minimal-dependency asyncio
+    HTTP server exposing submit/result/streaming endpoints with JSON and NPZ
+    payload codecs, boundary validation, overload -> 429 mapping and graceful
+    drain on SIGTERM (see :mod:`repro.serving.gateway`).
 """
 
+from .gateway import (
+    Gateway,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    InProcessClient,
+)
 from .pool import (
     BatchTask,
     PoolStopped,
@@ -57,4 +69,9 @@ __all__ = [
     "WorkerCrashed",
     "StreamingImputer",
     "StreamingUpdate",
+    "Gateway",
+    "GatewayServer",
+    "GatewayClient",
+    "GatewayError",
+    "InProcessClient",
 ]

@@ -352,6 +352,8 @@ class WorkerPool:
                 "max_backlog_observed": self.max_backlog_observed,
                 "backlog_requests": self._backlog_locked(),
                 "queued_batches": [len(queue) for queue in self._queues],
+                "in_flight_batches": sum(
+                    1 for task in self._in_flight if task is not None),
             }
 
     # ------------------------------------------------------------------

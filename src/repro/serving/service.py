@@ -319,14 +319,20 @@ class ImputationService:
             return np.random.default_rng(self._seeds.spawn(1)[0])
 
     def stats(self):
-        """Serving counters: batches, coalescing, registry LRU, executor."""
+        """Serving counters: batches, coalescing, queue depth, registry LRU,
+        executor — the scrape surface behind the gateway's ``/v1/stats``."""
         average = self.requests_served / self.batches if self.batches else 0.0
+        with self._lock:
+            pending = sum(len(queue) for queue in self._queues.values())
+            inflight = self._inflight_requests
         stats = {
             "requests_served": self.requests_served,
             "batches": self.batches,
             "average_batch_requests": average,
             "max_batch_requests_observed": self.max_batch_observed,
             "coalesced_requests": self.coalesced_requests,
+            "pending_requests": pending,
+            "inflight_requests": inflight,
             "registry": self.registry.stats(),
         }
         if self.executor is not None and hasattr(self.executor, "stats"):

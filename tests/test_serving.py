@@ -10,8 +10,16 @@ Covers the four layers of the refactor:
 * the :class:`~repro.serving.ImputationService` micro-batcher (the
   **bit-identical to served-alone** acceptance criterion, size/deadline
   triggers, error propagation, heterogeneous windows, worker thread), and
-* the :class:`~repro.serving.StreamingImputer` ring-buffer sessions.
+* the :class:`~repro.serving.StreamingImputer` ring-buffer sessions, and
+* the service error paths the HTTP gateway leans on (concurrent ticket
+  fetches, submit-after-stop, stopped executor pools, the stop/drain
+  contract) plus streaming replay equivalence over the gateway endpoints
+  (the protocol itself is covered in ``tests/test_gateway.py``).
 """
+
+import asyncio
+import json
+import threading
 
 import numpy as np
 import pytest
@@ -23,10 +31,12 @@ from repro import (
     PriSTI,
     PriSTIConfig,
     StreamingImputer,
+    WorkerPool,
 )
 from repro.baselines import BRITSImputer
 from repro.data import SlidingWindowBuffer
-from repro.serving import RegistryError
+from repro.serving import PoolStopped, RegistryError
+from repro.serving.gateway import Gateway, InProcessClient, decode_array_payload
 
 
 def _fast_config(**overrides):
@@ -542,3 +552,166 @@ class TestStreamingImputer:
                                   min_history=3)
         with pytest.raises(RuntimeError, match="tick"):
             stream.query()
+
+
+# ----------------------------------------------------------------------
+# Serving error paths exercised by the gateway
+# ----------------------------------------------------------------------
+class TestServiceErrorPaths:
+    def test_concurrent_result_calls_share_one_response(self, registry,
+                                                        tiny_traffic_dataset):
+        """Many callers blocking on the same ticket all get the same object —
+        the gateway's ``?timeout=`` fetch and a second client polling the
+        ticket race exactly like this."""
+        service = ImputationService(registry, max_batch_requests=100,
+                                    max_delay_seconds=10.0)
+        values, mask = _test_arrays(tiny_traffic_dataset)
+        ticket = service.submit(
+            ImputationRequest("traffic", values, mask, num_samples=2, seed=9))
+        outcomes = [None] * 4
+        barrier = threading.Barrier(5)
+
+        def fetch(slot):
+            barrier.wait()
+            outcomes[slot] = ticket.result(timeout=60)
+
+        threads = [threading.Thread(target=fetch, args=(slot,))
+                   for slot in range(4)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()                      # all callers blocked, then flush
+        service.flush()
+        for thread in threads:
+            thread.join()
+        assert all(outcome is outcomes[0] for outcome in outcomes)
+        assert np.all(np.isfinite(outcomes[0].median))
+
+    def test_submit_after_stop_served_on_demand(self, registry,
+                                                tiny_traffic_dataset):
+        """``stop()`` ends the background worker, not the service: a later
+        submit is still served (result() drives the flush) and stays
+        bit-identical to the pre-stop response for the same seed."""
+        service = ImputationService(registry, max_delay_seconds=0.005)
+        service.start()
+        values, mask = _test_arrays(tiny_traffic_dataset)
+        request = ImputationRequest("traffic", values, mask, num_samples=2,
+                                    seed=21)
+        before = service.submit(request).result(timeout=60)
+        service.stop()
+        after = service.submit(request).result(timeout=60)
+        assert np.array_equal(before.samples, after.samples)
+        assert np.array_equal(before.median, after.median)
+
+    def test_submit_against_stopped_pool_fails_ticket(self, registry,
+                                                      tiny_traffic_dataset):
+        """A stopped executor pool must surface on the ticket, not hang it."""
+        pool = WorkerPool(num_workers=1)
+        pool.stop()
+        service = ImputationService(registry, max_batch_requests=100,
+                                    executor=pool)
+        values, mask = _test_arrays(tiny_traffic_dataset)
+        ticket = service.submit(
+            ImputationRequest("traffic", values, mask, seed=1))
+        with pytest.raises(PoolStopped):
+            service.flush()
+        with pytest.raises(PoolStopped):
+            ticket.result(timeout=5)
+
+    def test_stop_resolves_inflight_before_returning(self, registry,
+                                                     tiny_traffic_dataset):
+        """The drain contract the gateway builds on: when ``stop()`` returns,
+        every ticket issued before it is done."""
+        service = ImputationService(registry, max_batch_requests=100,
+                                    max_delay_seconds=10.0)
+        service.start()
+        values, mask = _test_arrays(tiny_traffic_dataset)
+        tickets = [
+            service.submit(ImputationRequest("traffic", values, mask, seed=i))
+            for i in range(4)
+        ]
+        assert service.pending() == 4       # deadline far away: all queued
+        service.stop()
+        assert all(ticket.done for ticket in tickets)
+        assert all(ticket.result().batch_requests == 4 for ticket in tickets)
+
+
+# ----------------------------------------------------------------------
+# StreamingImputer over the gateway: HTTP replay == direct session
+# ----------------------------------------------------------------------
+class TestStreamingOverGateway:
+    def _ticks(self, dataset, count=14):
+        values, observed, evaluation = dataset.segment("test")
+        mask = observed & ~evaluation
+        return [np.where(mask[t], values[t], np.nan) for t in range(count)]
+
+    def _replay_over_http(self, registry, ticks, **session_options):
+        """Open a gateway streaming session and push every tick over HTTP;
+        returns the decoded per-tick payloads."""
+        service = ImputationService(registry)
+        gateway = Gateway(service)
+        client = InProcessClient(gateway)
+        try:
+            async def go():
+                document = {"model": "traffic", "num_nodes": ticks[0].shape[0]}
+                document.update(session_options)
+                opened = await client.request(
+                    "POST", "/v1/stream", body=json.dumps(document).encode())
+                assert opened.status == 201
+                session = opened.json()["session"]
+                updates = []
+                for tick in ticks:
+                    body = json.dumps({"values": [
+                        None if value != value else float(value)
+                        for value in tick]}).encode()
+                    response = await client.request(
+                        "POST", f"/v1/stream/{session}/tick", body=body)
+                    assert response.status == 200
+                    updates.append(decode_array_payload(
+                        response.content_type, response.body))
+                return updates
+
+            return asyncio.run(go())
+        finally:
+            service.stop()
+
+    def test_http_replay_bit_identical_to_direct_session(self, registry,
+                                                         tiny_traffic_dataset):
+        """Satellite acceptance: a tick sequence replayed through the HTTP
+        endpoints produces the same emissions, bit for bit, as the same
+        session driven in process."""
+        ticks = self._ticks(tiny_traffic_dataset)
+        backend = registry.backend(registry.resolve("traffic"))
+        direct = StreamingImputer(backend, num_nodes=6, num_samples=2, seed=33)
+        direct_updates = [direct.push(tick) for tick in ticks]
+
+        http_updates = self._replay_over_http(registry, ticks,
+                                              num_samples=2, seed=33)
+        assert len(http_updates) == len(direct_updates)
+        for reference, over_http in zip(direct_updates, http_updates):
+            assert over_http["emitted"] is True
+            assert over_http["tick"] == reference.tick
+            assert np.array_equal(over_http["samples"], reference.samples)
+            assert np.array_equal(over_http["median"], reference.median)
+            assert np.array_equal(over_http["new_median"], reference.new_median)
+
+    def test_http_replay_respects_stride_and_history(self, registry,
+                                                     tiny_traffic_dataset):
+        """Emission schedule (min_history warm-up, emit_stride cadence) is
+        identical over HTTP, including the catch-up rows of each emission."""
+        ticks = self._ticks(tiny_traffic_dataset, count=16)
+        backend = registry.backend(registry.resolve("traffic"))
+        direct = StreamingImputer(backend, num_nodes=6, num_samples=1,
+                                  emit_stride=4, min_history=6, seed=1)
+        direct_updates = [direct.push(tick) for tick in ticks]
+
+        http_updates = self._replay_over_http(registry, ticks, num_samples=1,
+                                              emit_stride=4, min_history=6,
+                                              seed=1)
+        assert ([update["emitted"] for update in http_updates]
+                == [update is not None for update in direct_updates])
+        for reference, over_http in zip(direct_updates, http_updates):
+            if reference is None:
+                continue
+            assert over_http["new_median"].shape == reference.new_median.shape
+            assert np.array_equal(over_http["samples"], reference.samples)
+            assert np.array_equal(over_http["new_median"], reference.new_median)

@@ -79,6 +79,16 @@ BASELINES = {
         "min": {"speedup_at_4": 2.0},
         "enforced_by": "scaling_floor_enforced",
     },
+    "chaos.json": {
+        "required": ["seed", "tickets_issued", "tickets_resolved",
+                     "hung_requests", "outcomes", "injector",
+                     "injector.invocations", "injector.fired",
+                     "service_counters.retries",
+                     "pool.crashed_batches"],
+        "flags": ["all_tickets_resolved", "zero_hung_requests",
+                  "clean_run_bit_identical"],
+        "max": {"hung_requests": 0},
+    },
     "gateway_load.json": {
         "required": ["closed_loop", "open_loop", "num_requests_total",
                      "num_errors_total", "error_rate",

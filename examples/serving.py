@@ -26,7 +26,13 @@ take:
    :class:`~repro.serving.GatewayServer` on an ephemeral localhost port,
    fire requests over real sockets (async submit + ticket fetch, NPZ
    round-trip), read ``/v1/stats``, then drain gracefully — queued tickets
-   all resolve, new work gets ``503``.
+   all resolve, new work gets ``503``,
+6. turn on **deterministic chaos**: install a seeded
+   :mod:`repro.serving.faults` plan that crashes pool workers mid-batch,
+   and watch the resilience stack absorb it — retries replay the batch
+   **bit-identically** (per-request RNG streams are snapshot-restored),
+   tight deadlines degrade to an immediate statistical fallback tagged
+   ``degraded=True``, and every issued ticket still resolves.
 """
 
 import asyncio
@@ -36,6 +42,8 @@ import time
 import numpy as np
 
 from repro import (
+    Deadline,
+    FallbackRouter,
     Gateway,
     GatewayServer,
     ImputationRequest,
@@ -43,10 +51,12 @@ from repro import (
     ModelRegistry,
     PriSTI,
     PriSTIConfig,
+    RetryPolicy,
     StreamingImputer,
     WorkerPool,
 )
 from repro.data import metr_la_like
+from repro.serving import faults
 from repro.serving.gateway import (
     NPZ_CONTENT_TYPE,
     GatewayClient,
@@ -150,9 +160,52 @@ def main():
     # 5. The HTTP gateway: the same service behind real sockets.
     asyncio.run(gateway_demo(registry, requests))
 
+    # 6. Deterministic chaos: inject worker crashes, watch retries absorb
+    # them bit-identically; degrade tight-deadline requests to a fallback.
+    chaos_demo(registry, requests, responses)
+
     # Tidy up the demo registry.
     import shutil
     shutil.rmtree(root, ignore_errors=True)
+
+
+def chaos_demo(registry, requests, clean_responses):
+    """Fault injection + the resilience stack, end to end in process."""
+    pool = WorkerPool(num_workers=2)
+    service = ImputationService(
+        registry, executor=pool, max_batch_requests=8,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_seconds=0.01),
+        fallback=FallbackRouter(),
+    )
+    # A seeded, replayable plan: the first two worker executions crash.
+    plan = {"seed": 7, "rules": [
+        {"point": "pool.worker_crash", "hits": [1, 2]},
+    ]}
+    with pool:
+        with faults.active(plan):
+            tickets = [service.submit(request) for request in requests[:8]]
+            service.flush()
+            survived = [ticket.result(timeout=300) for ticket in tickets]
+    assert all(
+        np.array_equal(response.samples, clean.samples)
+        for response, clean in zip(survived, clean_responses)
+    )
+    print(f"\nchaos: {pool.stats()['crashed_batches']} injected worker "
+          f"crashes, {service.stats()['retries']} retries — all "
+          f"{len(survived)} responses bit-identical to the clean run")
+
+    # A deadline the micro-batcher cannot meet + a fallback: the request is
+    # answered immediately by the statistical imputer, tagged degraded.
+    rushed = ImputationRequest(
+        model="traffic", values=requests[0].values,
+        observed_mask=requests[0].observed_mask,
+        num_samples=requests[0].num_samples, seed=requests[0].seed,
+        deadline=Deadline.after(0.001, clock=service.clock),
+    )
+    degraded = service.submit(rushed).result(timeout=30)
+    print(f"rushed request (1 ms deadline): degraded={degraded.degraded}, "
+          f"served by the Kalman fallback in "
+          f"{service.stats()['degraded_served']} request(s)")
 
 
 async def gateway_demo(registry, requests):

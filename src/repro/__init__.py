@@ -28,18 +28,24 @@ from .inference import DiffusionBackend, InferenceEngine, WindowedBackend
 from .training import Trainer, TrainingPlan
 from .io import ArtifactError, load_model, save_model
 from .serving import (
+    CircuitBreakerPolicy,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    FallbackRouter,
     Gateway,
     GatewayServer,
     ImputationRequest,
     ImputationResponse,
     ImputationService,
     ModelRegistry,
+    RetryPolicy,
     ServiceOverloaded,
     StreamingImputer,
     WorkerPool,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PriSTI",
@@ -60,6 +66,12 @@ __all__ = [
     "ImputationResponse",
     "WorkerPool",
     "ServiceOverloaded",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreakerPolicy",
+    "FallbackRouter",
     "StreamingImputer",
     "Gateway",
     "GatewayServer",

@@ -62,7 +62,13 @@ def load_backend(artifact_path):
     pool-served responses bit-identical to the in-process serve-alone path.
     """
     from ..io import load_model
+    # Imported lazily: repro.serving imports this module, so a top-level
+    # import of repro.serving.faults here would be circular.
+    from ..serving import faults
 
+    # Injection point: worker-side rehydration failing (artifact unreadable
+    # from the worker's process, version pulled mid-flight).
+    faults.inject("backend.load")
     return load_model(artifact_path).backend()
 
 

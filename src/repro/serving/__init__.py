@@ -27,8 +27,29 @@ production-facing counterpart built on the stateless
     HTTP server exposing submit/result/streaming endpoints with JSON and NPZ
     payload codecs, boundary validation, overload -> 429 mapping and graceful
     drain on SIGTERM (see :mod:`repro.serving.gateway`).
+:mod:`repro.serving.faults` / :mod:`repro.serving.resilience`
+    Deterministic chaos and the machinery that survives it: a seeded,
+    schedule-driven :class:`~repro.serving.faults.FaultInjector` with named
+    injection points in every layer (no-op unless a plan is installed), and
+    the resilience primitives the service composes — per-request
+    :class:`Deadline` admission, bit-identical :class:`RetryPolicy` replays,
+    per-model :class:`CircuitBreaker`, and a degraded-mode
+    :class:`FallbackRouter` over the statistical baselines.  The invariant
+    (gated by ``tests/test_resilience.py`` and ``benchmarks/bench_chaos.py``):
+    every issued ticket resolves — success, typed
+    :class:`~repro.serving.errors.ServingError`, or tagged degraded result —
+    under any seeded fault schedule.
 """
 
+from . import faults
+from .errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    PoolStopped,
+    ServiceOverloaded,
+    ServingError,
+    WorkerCrashed,
+)
 from .gateway import (
     Gateway,
     GatewayClient,
@@ -36,15 +57,15 @@ from .gateway import (
     GatewayServer,
     InProcessClient,
 )
-from .pool import (
-    BatchTask,
-    PoolStopped,
-    RequestPayload,
-    ServiceOverloaded,
-    WorkerCrashed,
-    WorkerPool,
-)
+from .pool import BatchTask, RequestPayload, WorkerPool
 from .registry import ModelRegistry, RegistryError, ResolvedModel
+from .resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    Deadline,
+    FallbackRouter,
+    RetryPolicy,
+)
 from .service import (
     ImputationRequest,
     ImputationResponse,
@@ -64,9 +85,18 @@ __all__ = [
     "WorkerPool",
     "BatchTask",
     "RequestPayload",
+    "ServingError",
     "ServiceOverloaded",
     "PoolStopped",
     "WorkerCrashed",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreakerPolicy",
+    "CircuitBreaker",
+    "FallbackRouter",
+    "faults",
     "StreamingImputer",
     "StreamingUpdate",
     "Gateway",

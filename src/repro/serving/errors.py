@@ -1,0 +1,91 @@
+"""Typed serving-layer failures and the gateway's table-driven status map.
+
+Every failure a serving component can hand a client is a :class:`ServingError`
+subclass, defined here in one place (PR 4–6 grew them ad hoc inside
+:mod:`repro.serving.pool`; the old import paths keep working via re-exports).
+Centralising them buys two things:
+
+* **one taxonomy** — a ticket always resolves to a response *or* one of these
+  types, which is what lets the resilience layer (:mod:`.resilience`) and the
+  chaos benchmark count outcomes instead of pattern-matching messages;
+* **one wire mapping** — :data:`GATEWAY_STATUS` is the single, table-driven
+  translation from exception type to HTTP status + error code, replacing the
+  scattered ``except`` clauses the gateway used to carry.  Most-specific
+  entries come first; :func:`classify` walks the table with ``isinstance`` so
+  subclasses (e.g. an injected :class:`~repro.serving.faults.InjectedFault`
+  wrapped as a :class:`WorkerCrashed`) inherit their parent's mapping.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "ServiceOverloaded",
+    "PoolStopped",
+    "WorkerCrashed",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "GATEWAY_STATUS",
+    "classify",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of every typed serving-layer failure."""
+
+
+class ServiceOverloaded(ServingError):
+    """The pool (or service) queue is full; the request was rejected."""
+
+
+class PoolStopped(ServingError):
+    """The pool stopped before this batch could execute."""
+
+
+class WorkerCrashed(ServingError):
+    """A worker died mid-batch; its tickets carry this error."""
+
+
+class CircuitOpen(ServingError):
+    """The model's circuit breaker is open; the request was rejected.
+
+    ``retry_after`` (seconds, may be ``None``) is the breaker's estimate of
+    when the next probe will be admitted — the gateway surfaces it as the
+    ``Retry-After`` header on the 503.
+    """
+
+    def __init__(self, message, *, retry_after=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline cannot (or could not) be met.
+
+    Raised at admission when the queue wait plus the expected batch time
+    already exceeds the deadline's headroom, and at flush time for requests
+    whose deadline expired while queued — rejected up front rather than
+    imputed late.
+    """
+
+
+#: Exception type -> (HTTP status, wire error code), most-specific first.
+#: ``Retry-After`` policy rides on the status: the gateway attaches its
+#: load-aware hint to every 429/503 (a :class:`CircuitOpen` carrying its own
+#: ``retry_after`` wins over the load-derived one).
+GATEWAY_STATUS = (
+    (ServiceOverloaded, 429, "overloaded"),
+    (DeadlineExceeded, 429, "deadline_exceeded"),
+    (CircuitOpen, 503, "circuit_open"),
+    (PoolStopped, 503, "pool_stopped"),
+    (WorkerCrashed, 500, "worker_crashed"),
+    (ServingError, 500, "serving_error"),
+)
+
+
+def classify(error):
+    """Map a :class:`ServingError` to its ``(status, code)`` wire contract."""
+    for exc_type, status, code in GATEWAY_STATUS:
+        if isinstance(error, exc_type):
+            return status, code
+    return 500, "internal"

@@ -52,11 +52,28 @@ Two codecs are negotiated per request (``Content-Type``) and per response
 Error mapping
 -------------
 Every error is a structured JSON body ``{"error": <code>, "message": ...}``:
-boundary validation fails with ``400`` before anything is submitted,
-:class:`~repro.serving.pool.ServiceOverloaded` maps to ``429`` with a
-``Retry-After`` hint, unknown tickets/sessions/routes to ``404``, submits
-during drain to ``503``, and anything unexpected (a crashed worker, an
-internal bug) to ``500`` carrying the exception type.
+boundary validation fails with ``400`` before anything is submitted, every
+typed serving failure maps through the table in
+:mod:`repro.serving.errors` (:data:`~repro.serving.errors.GATEWAY_STATUS`
+— overloaded/deadline-exceeded to ``429``, circuit-open/pool-stopped to
+``503``, crashed workers to ``500``), unknown tickets/sessions/routes to
+``404``, submits during drain to ``503``, and anything unexpected to
+``500`` carrying the exception type.  Every ``429``/``503`` carries a
+load-aware ``Retry-After`` derived from the current queue depth and flush
+interval (an open circuit's own reset estimate wins).
+
+Resilience
+----------
+An ``X-Deadline-Ms`` request header becomes a
+:class:`~repro.serving.resilience.Deadline` on the submitted request —
+unmeetable deadlines are rejected up front with ``429`` (or served by the
+service's degraded fallback, tagged ``"degraded": true`` in the response
+metadata).  ``GET /v1/healthz`` is pure *liveness* (200 while the process
+can answer, even mid-drain); ``GET /v1/healthz/ready`` is *readiness* —
+``503`` with the blocking reasons while draining, while the pool has dead
+unrespawned workers, or while any model's circuit is open.  Wire-level
+fault injection (:mod:`repro.serving.faults`) can drop connections or
+truncate response bodies for chaos testing.
 
 Graceful drain
 --------------
@@ -82,7 +99,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .pool import ServiceOverloaded
+from . import faults
+from .errors import ServiceOverloaded, ServingError, classify
+from .resilience import Deadline
 from .service import ImputationRequest, ImputationService
 from .streaming import StreamingImputer
 
@@ -347,6 +366,9 @@ def encode_response_body(response, codec):
         "batch_requests": response.batch_requests,
         "queued_seconds": float(response.queued_seconds),
         "batch_seconds": float(response.batch_seconds),
+        # Omitted (None) on the primary path so legacy payload bytes — and
+        # the golden fixtures pinning them — are unchanged.
+        "degraded": True if getattr(response, "degraded", False) else None,
     }
     return encode_array_payload(arrays, meta, codec)
 
@@ -461,10 +483,18 @@ class Gateway:
         except GatewayError as error:
             response = self._respond(error.status, _error_body(
                 error.status, error.code, str(error)), extra=error.headers)
-        except ServiceOverloaded as error:
-            self.overload_rejections += 1
-            response = self._respond(429, _error_body(429, "overloaded", str(error)),
-                                     extra={"Retry-After": self._retry_after()})
+        except ServingError as error:
+            # Table-driven: the exception type alone decides status + code
+            # (see errors.GATEWAY_STATUS); every 429/503 carries Retry-After.
+            status, code = classify(error)
+            if isinstance(error, ServiceOverloaded):
+                self.overload_rejections += 1
+            extra = {}
+            if status in (429, 503):
+                extra["Retry-After"] = self._retry_after_for(error)
+            response = self._respond(status,
+                                     _error_body(status, code, str(error)),
+                                     extra=extra)
         except Exception as error:                       # noqa: BLE001 - wire boundary
             response = self._respond(500, _error_body(
                 500, "internal", f"{type(error).__name__}: {error}"))
@@ -478,6 +508,10 @@ class Gateway:
             route = segments[1:]
             if route == ["healthz"]:
                 return self._require(request, "GET") or self._handle_healthz()
+            if route == ["healthz", "live"]:
+                return self._require(request, "GET") or self._handle_live()
+            if route == ["healthz", "ready"]:
+                return self._require(request, "GET") or self._handle_ready()
             if route == ["stats"]:
                 return self._require(request, "GET") or self._handle_stats()
             if route == ["impute"]:
@@ -508,12 +542,45 @@ class Gateway:
     # Handlers
     # ------------------------------------------------------------------
     def _handle_healthz(self):
+        """Liveness (always 200 while the process answers) plus a readiness
+        summary; ``/v1/healthz/ready`` is the gating variant that goes 503."""
+        reasons = self._not_ready_reasons()
         body = {"status": "draining" if self.draining else "ok",
                 "draining": self.draining,
+                "live": True,
+                "ready": not reasons,
                 "pending_tickets": sum(
                     1 for ticket in self._tickets.values()
                     if not ticket.pending.done),
                 "open_streams": len(self._streams)}
+        return self._json_response(200, body)
+
+    def _handle_live(self):
+        """Pure liveness: 200 whenever the event loop can answer at all
+        (a draining gateway is still alive — don't restart it)."""
+        return self._json_response(200, {"live": True})
+
+    def _not_ready_reasons(self):
+        """Why this gateway should NOT receive new traffic (empty = ready)."""
+        reasons = []
+        if self.draining:
+            reasons.append("draining")
+        executor = self.service.executor
+        if executor is not None and any(getattr(executor, "dead_workers", ())):
+            reasons.append("dead_workers")
+        if self.service.any_circuit_open():
+            reasons.append("circuit_open")
+        return reasons
+
+    def _handle_ready(self):
+        """Readiness: 503 (take it out of rotation) while draining, while
+        the pool has dead unrespawned workers, or while any circuit is
+        open; the body names the reasons."""
+        reasons = self._not_ready_reasons()
+        body = {"ready": not reasons, "reasons": reasons}
+        if reasons:
+            return self._json_response(503, body,
+                                       extra={"Retry-After": self._retry_after()})
         return self._json_response(200, body)
 
     def _handle_stats(self):
@@ -522,6 +589,7 @@ class Gateway:
     async def _handle_impute(self, request):
         self._refuse_if_draining()
         imputation = decode_impute_request(request.content_type, request.body)
+        imputation.deadline = self._deadline_of(request)
         self.codec_counts[request.content_type] = (
             self.codec_counts.get(request.content_type, 0) + 1)
         if len(self._tickets) >= self.max_tickets:
@@ -680,7 +748,45 @@ class Gateway:
     # Helpers
     # ------------------------------------------------------------------
     def _retry_after(self):
-        return str(max(1, int(np.ceil(self.service.max_delay_seconds))))
+        """Load-aware ``Retry-After``: the time for the work already waiting
+        (service queues + executor backlog) to clear, assuming full batches
+        every ``max_delay_seconds`` flush interval — deeper queues push the
+        hint out instead of hammering a backed-up gateway with retries.
+        Clamped to [1, 60] whole seconds."""
+        waiting = self.service.pending()
+        executor = self.service.executor
+        if executor is not None and hasattr(executor, "backlog"):
+            waiting += executor.backlog()
+        batches_ahead = int(np.ceil(
+            (waiting + 1) / self.service.max_batch_requests))
+        seconds = batches_ahead * max(self.service.max_delay_seconds, 1e-3)
+        return str(int(min(60.0, max(1.0, np.ceil(seconds)))))
+
+    def _retry_after_for(self, error):
+        """The error's own retry estimate when it carries one (an open
+        circuit knows when its next probe admits), else the load-derived
+        hint."""
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            return str(int(min(60.0, max(1.0, np.ceil(float(retry_after))))))
+        return self._retry_after()
+
+    def _deadline_of(self, request):
+        """Parse ``X-Deadline-Ms`` into a :class:`Deadline` on the service's
+        clock (admission comparisons must share a time base)."""
+        raw = request.headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            milliseconds = float(raw)
+        except ValueError:
+            raise GatewayError(400, "bad_request",
+                               f"invalid X-Deadline-Ms '{raw}' "
+                               "(milliseconds expected)")
+        if not 0 < milliseconds <= 600_000:
+            raise GatewayError(400, "bad_request",
+                               "X-Deadline-Ms must be in (0, 600000]")
+        return Deadline.after(milliseconds / 1000.0, clock=self.service.clock)
 
     @staticmethod
     def _timeout_of(request, default):
@@ -705,8 +811,8 @@ class Gateway:
         except TimeoutError:
             raise GatewayError(408, "timeout",
                                "request not served within the wait timeout")
-        except ServiceOverloaded:
-            raise
+        except ServingError:
+            raise                       # classified by handle()'s status table
         except ValueError as error:
             # The request cleared boundary validation but the model rejected
             # it (wrong node count for the trained network, ...).
@@ -825,6 +931,16 @@ async def _read_http_request(reader):
 
 
 async def _write_http_response(writer, response, *, keep_alive):
+    # Wire-layer injection points (no-ops unless a fault plan is installed):
+    # a "connection_drop" fires before any byte is written — the client sees
+    # a reset with no response; a "truncated_body" writes the full head (with
+    # the promised Content-Length) but cuts the body short and closes.  Both
+    # raise ConnectionResetError, which serve_connection already treats as
+    # "client went away" — the server keeps serving other connections.
+    if faults.fired("gateway.connection_drop"):
+        writer.close()
+        raise ConnectionResetError("injected fault: connection dropped")
+    truncate = faults.fired("gateway.truncated_body")
     reason = _REASONS.get(response.status, "Unknown")
     headers = dict(response.headers)
     headers.setdefault("Content-Length", str(len(response.body)))
@@ -832,6 +948,11 @@ async def _write_http_response(writer, response, *, keep_alive):
     head = [f"HTTP/1.1 {response.status} {reason}"]
     head.extend(f"{name}: {value}" for name, value in headers.items())
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    if truncate:
+        writer.write(response.body[:len(response.body) // 2])
+        await writer.drain()
+        writer.close()
+        raise ConnectionResetError("injected fault: response body truncated")
     writer.write(response.body)
     await writer.drain()
 

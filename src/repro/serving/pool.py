@@ -61,21 +61,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..inference.backend import BackendCache, process_backend
+from . import faults
+from .errors import PoolStopped, ServiceOverloaded, WorkerCrashed
 
 __all__ = ["WorkerPool", "ServiceOverloaded", "PoolStopped", "WorkerCrashed",
            "RequestPayload", "BatchTask", "execute_batch"]
-
-
-class ServiceOverloaded(RuntimeError):
-    """The pool (or service) queue is full; the request was rejected."""
-
-
-class PoolStopped(RuntimeError):
-    """The pool stopped before this batch could execute."""
-
-
-class WorkerCrashed(RuntimeError):
-    """A worker process died mid-batch; its tickets carry this error."""
 
 
 @dataclass
@@ -285,6 +275,10 @@ class WorkerPool:
         self.rejected_requests = 0
         self.crashed_batches = 0
         self.max_backlog_observed = 0
+        # A worker whose child process died and has not been respawned yet
+        # (process mode; respawn is lazy, on the worker's next batch).  The
+        # gateway's readiness probe reports not-ready while any entry is True.
+        self.dead_workers = [False] * self.num_workers
 
     # ------------------------------------------------------------------
     # Dispatch surface
@@ -349,6 +343,7 @@ class WorkerPool:
                 "stolen_batches": self.stolen_batches,
                 "rejected_requests": self.rejected_requests,
                 "crashed_batches": self.crashed_batches,
+                "dead_workers": sum(self.dead_workers),
                 "max_backlog_observed": self.max_backlog_observed,
                 "backlog_requests": self._backlog_locked(),
                 "queued_batches": [len(queue) for queue in self._queues],
@@ -458,18 +453,27 @@ class WorkerPool:
                     if stolen:
                         self.stolen_batches += 1
                 try:
+                    # Injection points: a "stall" rule simulates a slow
+                    # worker; a "crash" rule takes the exact WorkerCrashed
+                    # path a real mid-batch death takes.  Both sit before the
+                    # execute-hook branch so scheduling tests with dummy
+                    # tasks exercise them too.
+                    faults.inject("pool.worker_stall")
+                    faults.inject("pool.worker_crash", error=WorkerCrashed)
                     if task.execute is not None:
                         raws = task.execute(wid)
                     elif self.mode == "process":
                         if process is None:
                             process = _WorkerProcess(
                                 self.mp_context, f"{self.name}-proc-{wid}")
+                            with self._lock:
+                                self.dead_workers[wid] = False
                         try:
                             raws = process.run(task)
                         except WorkerCrashed:
                             process = None     # respawn lazily on the next batch
                             with self._lock:
-                                self.crashed_batches += 1
+                                self.dead_workers[wid] = True
                             raise
                     else:
                         raws = execute_batch(handle.get(task.artifact_path),
@@ -480,6 +484,9 @@ class WorkerPool:
                     # absorbed (the pool keeps serving); fatal signals
                     # (SystemExit, KeyboardInterrupt) re-raise after the
                     # tickets are resolved and still take the worker down.
+                    if isinstance(error, WorkerCrashed):
+                        with self._lock:
+                            self.crashed_batches += 1
                     task.on_error(error)
                     if not isinstance(error, Exception):
                         raise

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..io import load_model, save_model
+from . import faults
 
 __all__ = ["ModelRegistry", "RegistryError", "ResolvedModel"]
 
@@ -169,6 +170,9 @@ class ModelRegistry:
                 self.hits += 1
                 return model
             self.misses += 1
+            # Injection point: an artifact read failing on an LRU miss (disk
+            # gone, tree truncated mid-publish).  Cache hits are unaffected.
+            faults.inject("registry.load")
             model = load_model(resolved.path)
             self._loaded[key] = model
             while len(self._loaded) > self.max_loaded:

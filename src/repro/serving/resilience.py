@@ -1,0 +1,285 @@
+"""Resilience primitives for the serving stack.
+
+Four independent pieces that :mod:`repro.serving.service` and
+:mod:`repro.serving.gateway` compose (all optional — a service constructed
+without them behaves exactly as before, bit for bit):
+
+* :class:`Deadline` — a per-request latency budget, carried from the
+  gateway's ``X-Deadline-Ms`` header through
+  :class:`~repro.serving.service.ImputationRequest` into batch admission.  A
+  request whose deadline cannot be met (queue wait plus the model's observed
+  batch time already exceeds the remaining budget) is rejected *up front*
+  with :class:`~repro.serving.errors.DeadlineExceeded` rather than imputed
+  late; a request whose deadline expires while queued is rejected at flush.
+* :class:`RetryPolicy` — capped exponential backoff with seeded jitter for
+  idempotent re-execution of failed batches.  Safe because every request
+  carries its own RNG stream: replaying a batch with restored RNG state is
+  bit-identical to a first execution (asserted in
+  ``tests/test_resilience.py``).
+* :class:`CircuitBreaker` — per-``name@version`` failure tracking.  After
+  ``failure_threshold`` consecutive backend/load failures the circuit opens
+  and the service rejects that model's requests immediately with
+  :class:`~repro.serving.errors.CircuitOpen` (503 + ``Retry-After`` at the
+  gateway) instead of queueing them into a known-bad backend; after
+  ``reset_timeout_seconds`` a limited number of half-open probes are let
+  through, and one success closes the circuit.
+* :class:`FallbackRouter` — graceful degradation.  When the diffusion
+  backend is circuit-open or the deadline leaves no headroom, the service
+  can serve a cheap statistical imputation (a per-node Kalman smoother from
+  :mod:`repro.baselines.statistical`) tagged ``degraded: true`` instead of
+  failing the request outright.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.statistical import KalmanFilterImputer
+from ..inference.backend import ImputationBackend, RawImputation
+from .errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    PoolStopped,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreakerPolicy",
+    "CircuitBreaker",
+    "FallbackRouter",
+    "counts_as_breaker_failure",
+]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the service clock by which a request must
+    resolve.  Immutable — computed once at ingress and carried with the
+    request."""
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds, *, clock=time.monotonic):
+        """A deadline ``seconds`` from now on ``clock`` (the service's
+        clock, so admission comparisons share a time base)."""
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds <= 0.0:
+            raise ValueError("deadline must be a positive, finite duration")
+        return cls(expires_at=clock() + seconds)
+
+    def remaining(self, now):
+        """Seconds of budget left at ``now`` (negative once expired)."""
+        return self.expires_at - now
+
+    def expired(self, now):
+        return now >= self.expires_at
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff for idempotent batch re-execution.
+
+    ``max_attempts`` counts the first execution: the default of 3 means one
+    try plus at most two retries.  Only errors in ``retry_on`` are retried —
+    transient infrastructure failures (a crashed worker, an I/O hiccup), not
+    request errors, which would fail identically on every replay.  Backoff
+    for the ``attempt``-th *retry* (1-based) is
+    ``min(base * 2**(attempt-1), max) * (1 + jitter * u)`` with ``u`` drawn
+    from the caller's seeded RNG, so sleep schedules are reproducible too.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.02
+    max_delay_seconds: float = 0.5
+    jitter: float = 0.5
+    retry_on: tuple = field(default=None)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.retry_on is None:
+            from .errors import WorkerCrashed
+
+            self.retry_on = (WorkerCrashed, OSError)
+        self.retry_on = tuple(self.retry_on)
+
+    def should_retry(self, error, attempts_made):
+        """Retry after ``attempts_made`` executions failed with ``error``?"""
+        if attempts_made >= self.max_attempts:
+            return False
+        return isinstance(error, self.retry_on)
+
+    def backoff_seconds(self, attempt, rng):
+        """Sleep before the ``attempt``-th retry (1-based)."""
+        delay = min(self.base_delay_seconds * 2.0 ** (attempt - 1),
+                    self.max_delay_seconds)
+        return delay * (1.0 + self.jitter * float(rng.random()))
+
+
+#: Failures that must NOT trip a circuit breaker: capacity and lifecycle
+#: rejections say nothing about the health of a model's backend (counting
+#: them would let an overload burst — or a drain — poison the circuit).
+_NON_BREAKER_FAILURES = (ServiceOverloaded, PoolStopped, DeadlineExceeded,
+                         CircuitOpen)
+
+
+def counts_as_breaker_failure(error):
+    """Should this error count toward opening a circuit?"""
+    return not isinstance(error, _NON_BREAKER_FAILURES)
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Tunables for one :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    reset_timeout_seconds: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_timeout_seconds <= 0.0:
+            raise ValueError("reset_timeout_seconds must be positive")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """closed → open → half_open → closed, per ``name@version``.
+
+    Thread-safe; time comes from an injectable ``clock`` so tests drive
+    state transitions without sleeping.
+    """
+
+    def __init__(self, policy=None, *, clock=time.monotonic):
+        self.policy = policy or CircuitBreakerPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probes_in_flight = 0
+        self.opened_total = 0
+
+    def _effective_state(self, now):
+        # Lock held.  An open circuit becomes half-open once the reset
+        # timeout elapses; the transition is realised lazily on observation.
+        if (self._state == "open"
+                and now - self._opened_at >= self.policy.reset_timeout_seconds):
+            self._state = "half_open"
+            self._probes_in_flight = 0
+        return self._state
+
+    def allow(self):
+        """May a request for this model be admitted right now?
+
+        In ``half_open``, at most ``half_open_probes`` requests are let
+        through to test the backend; the rest stay rejected until a probe
+        reports back.
+        """
+        with self._lock:
+            state = self._effective_state(self.clock())
+            if state == "closed":
+                return True
+            if state == "half_open":
+                if self._probes_in_flight < self.policy.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def record_success(self):
+        """A (probe or regular) execution for this model succeeded."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probes_in_flight = 0
+
+    def record_failure(self):
+        """A breaker-countable execution failed (see
+        :func:`counts_as_breaker_failure` — capacity/lifecycle errors must
+        be filtered by the caller)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (self._state == "half_open"
+                       or self._consecutive_failures
+                       >= self.policy.failure_threshold)
+            if tripped:
+                if self._state != "open":
+                    self.opened_total += 1
+                self._state = "open"
+                self._opened_at = self.clock()
+                self._probes_in_flight = 0
+
+    def retry_after(self):
+        """Seconds until the next probe could be admitted (>= 1, for the
+        gateway's ``Retry-After`` header)."""
+        with self._lock:
+            if self._opened_at is None:
+                return 1.0
+            elapsed = self.clock() - self._opened_at
+            return max(1.0, self.policy.reset_timeout_seconds - elapsed)
+
+    def reject_error(self, key):
+        """The :class:`CircuitOpen` a rejected request should carry."""
+        return CircuitOpen(
+            f"circuit for model '{key}' is open "
+            f"({self._consecutive_failures} consecutive failures)",
+            retry_after=self.retry_after())
+
+    def snapshot(self):
+        """Effective state + counters (for ``/v1/stats`` and readiness)."""
+        with self._lock:
+            state = self._effective_state(self.clock())
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "opened_total": self.opened_total,
+            }
+
+    @property
+    def state(self):
+        return self.snapshot()["state"]
+
+
+class FallbackRouter:
+    """Degraded-mode imputation when the primary backend is unavailable.
+
+    Wraps a cheap fit-free statistical imputer (per-node local-level Kalman
+    smoother by default — deterministic, no RNG, no trained artifact) and
+    produces a :class:`~repro.inference.backend.RawImputation` shaped like
+    the diffusion backend's output: observed entries pass through unchanged
+    and every "sample" equals the smoothed median (a degraded response
+    carries no posterior spread, and pretending otherwise would be worse
+    than saying so — the response is tagged ``degraded: true``).
+    """
+
+    def __init__(self, imputer=None):
+        self.imputer = imputer or KalmanFilterImputer()
+        self.served = 0
+        self._lock = threading.Lock()
+
+    def impute(self, values, observed_mask=None, *, num_samples=1):
+        num_samples = int(num_samples)
+        if num_samples < 1:
+            raise ValueError("num_samples must be a positive integer")
+        values, observed_mask = ImputationBackend._check_request(
+            values, observed_mask)
+        smoothed = self.imputer._impute_matrix(values, observed_mask, None)
+        median = np.where(observed_mask, values, smoothed)
+        samples = np.broadcast_to(
+            median[None], (num_samples,) + median.shape).copy()
+        with self._lock:
+            self.served += 1
+        return RawImputation(median=median, samples=samples,
+                             values=values, observed_mask=observed_mask)

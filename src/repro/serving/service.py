@@ -45,6 +45,7 @@ Execution semantics
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from dataclasses import dataclass
@@ -52,8 +53,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..metrics import imputation_metrics
-from .pool import BatchTask, RequestPayload, ServiceOverloaded, execute_batch
+from . import faults
+from .errors import DeadlineExceeded, ServiceOverloaded
+from .pool import BatchTask, RequestPayload, execute_batch
 from .registry import ModelRegistry, ResolvedModel
+from .resilience import CircuitBreaker, counts_as_breaker_failure
 
 __all__ = ["ImputationRequest", "ImputationResponse", "PendingImputation",
            "ImputationService"]
@@ -77,6 +81,14 @@ class ImputationRequest:
         spawn a stream from its own seed sequence at submission time.
     stride:
         Sliding-window stride for requests longer than the model window.
+    deadline:
+        Optional :class:`~repro.serving.resilience.Deadline` (on the
+        service's clock).  A request whose deadline cannot be met — the
+        remaining budget is under the expected queue wait plus the model's
+        observed batch time — is rejected at admission with
+        :class:`~repro.serving.errors.DeadlineExceeded` (or served degraded
+        when the service has a fallback); one whose deadline expires while
+        queued is rejected at flush.
     """
 
     model: str
@@ -85,6 +97,7 @@ class ImputationRequest:
     num_samples: int = 1
     seed: int | None = None
     stride: int | None = None
+    deadline: object = None
 
 
 @dataclass
@@ -99,6 +112,7 @@ class ImputationResponse:
     batch_requests: int            # how many requests shared the flush
     queued_seconds: float          # submit -> flush start
     batch_seconds: float           # wall-clock of the shared flush
+    degraded: bool = False         # served by the statistical fallback
 
     def metrics(self, target_values, eval_mask):
         """MAE / MSE / RMSE / CRPS via the shared metric implementation.
@@ -178,10 +192,28 @@ class ImputationService:
         Optional admission bound on waiting requests (service queues plus
         executor backlog); ``submit`` past it raises
         :class:`~repro.serving.pool.ServiceOverloaded`.
+    retry_policy:
+        Optional :class:`~repro.serving.resilience.RetryPolicy` — failed
+        batches are re-executed with each request's RNG stream restored to
+        its pre-attempt state, so a retried response is bit-identical to a
+        first-try one.  ``None`` (default) keeps the fail-fast behaviour.
+    circuit_policy:
+        Optional :class:`~repro.serving.resilience.CircuitBreakerPolicy` —
+        one :class:`~repro.serving.resilience.CircuitBreaker` per resolved
+        ``name@version``: repeated backend/load failures open the circuit
+        and that model's requests are rejected at admission with
+        :class:`~repro.serving.errors.CircuitOpen` until a half-open probe
+        succeeds.  Capacity/lifecycle errors never count.
+    fallback:
+        Optional :class:`~repro.serving.resilience.FallbackRouter` — when a
+        request is rejected by an open circuit or a no-headroom deadline, it
+        is served immediately by the statistical fallback instead, with
+        ``degraded=True`` on the response.
     """
 
     def __init__(self, registry, *, max_batch_requests=16, max_delay_seconds=0.005,
-                 seed=0, clock=time.monotonic, executor=None, max_queue_depth=None):
+                 seed=0, clock=time.monotonic, executor=None, max_queue_depth=None,
+                 retry_policy=None, circuit_policy=None, fallback=None):
         if not isinstance(registry, ModelRegistry):
             raise TypeError("registry must be a ModelRegistry")
         if max_batch_requests < 1:
@@ -198,6 +230,9 @@ class ImputationService:
         self.max_batch_requests = int(max_batch_requests)
         self.max_delay_seconds = float(max_delay_seconds)
         self.clock = clock
+        self.retry_policy = retry_policy
+        self.circuit_policy = circuit_policy
+        self.fallback = fallback
         self._seeds = np.random.SeedSequence(seed)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -209,11 +244,25 @@ class ImputationService:
         self._inflight_requests = 0    # popped off the queues, tickets pending
         self._worker = None
         self._stop_worker = False
+        # Resilience state: per-model breakers, an EWMA of observed batch
+        # execution time (feeds deadline admission), and a dedicated jitter
+        # RNG for retry backoff (never the request streams — those must stay
+        # untouched between attempts for bit-identical replays).
+        self._breakers = {}            # (name, version) -> CircuitBreaker
+        self._batch_ewma = {}          # (name, version) -> seconds
+        self._retry_lock = threading.Lock()
+        self._retry_rng = np.random.default_rng(
+            np.random.SeedSequence([int(seed) if np.isscalar(seed) else 0, 0x7e7]))
         # Serving counters (see .stats()).
         self.requests_served = 0
         self.batches = 0
         self.coalesced_requests = 0
         self.max_batch_observed = 0
+        self.retries = 0
+        self.degraded_served = 0
+        self.deadline_rejections = 0
+        self.circuit_rejections = 0
+        self.deadline_expired = 0
 
     # ------------------------------------------------------------------
     # Client surface
@@ -240,6 +289,11 @@ class ImputationService:
                     f"(max_queue_depth={self.max_queue_depth})"
                 )
         resolved = self.registry.resolve(request.model)
+        admission_error, degradable = self._admission_error(resolved, request)
+        if admission_error is not None:
+            if degradable and self.fallback is not None:
+                return self._serve_degraded(resolved, request)
+            raise admission_error
         key = (resolved.name, resolved.version)
         rng = self._request_rng(request)
         ticket = PendingImputation(self, key)
@@ -266,6 +320,11 @@ class ImputationService:
         if not isinstance(request, ImputationRequest):
             raise TypeError("serve expects an ImputationRequest")
         resolved = self.registry.resolve(request.model)
+        admission_error, degradable = self._admission_error(resolved, request)
+        if admission_error is not None:
+            if degradable and self.fallback is not None:
+                return self._serve_degraded(resolved, request).result()
+            raise admission_error
         rng = self._request_rng(request)
         ticket = PendingImputation(self, (resolved.name, resolved.version))
         now = self.clock()
@@ -281,6 +340,9 @@ class ImputationService:
         the number of requests served.
         """
         key_filter = None if model is None else self._to_key(model)
+        # Injection point: a stall (or failure) before any queue is popped —
+        # no ticket is stranded because nothing has left the queues yet.
+        faults.inject("service.queue_stall")
         batches = []
         with self._lock:
             for key in list(self._queues):
@@ -293,6 +355,7 @@ class ImputationService:
 
     def poll(self):
         """Serve the queues whose deadline or size trigger has fired."""
+        faults.inject("service.queue_stall")
         now = self.clock()
         batches = []
         with self._lock:
@@ -318,6 +381,116 @@ class ImputationService:
         with self._lock:
             return np.random.default_rng(self._seeds.spawn(1)[0])
 
+    # ------------------------------------------------------------------
+    # Resilience: admission, breakers, degraded mode
+    # ------------------------------------------------------------------
+    def _breaker(self, key):
+        """The model's circuit breaker (created on first use; ``None`` when
+        breakers are disabled)."""
+        if self.circuit_policy is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.circuit_policy, clock=self.clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def _expected_batch_seconds(self, key):
+        """EWMA of the model's observed batch execution time (0 when cold)."""
+        with self._lock:
+            return self._batch_ewma.get(key, 0.0)
+
+    def _admission_error(self, resolved, request):
+        """Admission-control verdict for a request: ``(error, degradable)``.
+
+        ``error`` is ``None`` when the request is admitted.  ``degradable``
+        marks rejections the fallback may absorb: an open circuit, or a
+        deadline with *some* budget left but not enough for the primary path
+        (an already-expired deadline is never degradable — the answer would
+        be late no matter who computes it).
+        """
+        key = (resolved.name, resolved.version)
+        if request.deadline is not None:
+            remaining = request.deadline.remaining(self.clock())
+            expected = self.max_delay_seconds + self._expected_batch_seconds(key)
+            if remaining < expected:
+                with self._lock:
+                    self.deadline_rejections += 1
+                error = DeadlineExceeded(
+                    f"deadline leaves {max(remaining, 0.0) * 1000.0:.1f} ms "
+                    f"but queue wait + expected batch time is "
+                    f"{expected * 1000.0:.1f} ms")
+                return error, remaining > 0.0
+        breaker = self._breaker(key)
+        if breaker is not None and not breaker.allow():
+            with self._lock:
+                self.circuit_rejections += 1
+            return breaker.reject_error(resolved.spec), True
+        return None, False
+
+    def _serve_degraded(self, resolved, request):
+        """Serve a request through the statistical fallback, immediately, on
+        the calling thread; returns an already-resolved ticket whose
+        response is tagged ``degraded=True``."""
+        started = self.clock()
+        ticket = PendingImputation(self, (resolved.name, resolved.version))
+        try:
+            raw = self.fallback.impute(request.values, request.observed_mask,
+                                       num_samples=request.num_samples)
+        except Exception as error:
+            ticket._resolve(None, error)
+            return ticket
+        with self._lock:
+            self.degraded_served += 1
+        ticket._resolve(ImputationResponse(
+            model=resolved.spec,
+            median=raw.median,
+            samples=raw.samples,
+            values=raw.values,
+            observed_mask=raw.observed_mask,
+            batch_requests=1,
+            queued_seconds=0.0,
+            batch_seconds=self.clock() - started,
+            degraded=True,
+        ))
+        return ticket
+
+    def _record_success(self, key):
+        breaker = self.circuit_policy and self._breakers.get(key)
+        if breaker:
+            breaker.record_success()
+
+    def _record_failure(self, key, error):
+        """Count an execution failure toward the model's breaker — unless it
+        is a capacity/lifecycle rejection, which says nothing about the
+        backend's health."""
+        if self.circuit_policy is None or not counts_as_breaker_failure(error):
+            return
+        self._breaker(key).record_failure()
+
+    def _backoff_sleep(self, attempts_made):
+        """Sleep the policy's backoff before retry ``attempts_made`` (the
+        jitter draw comes from the service's own RNG, never a request's)."""
+        with self._retry_lock:
+            self.retries += 1
+            delay = self.retry_policy.backoff_seconds(attempts_made,
+                                                      self._retry_rng)
+        time.sleep(delay)
+
+    def circuits(self):
+        """Per-model circuit state, ``{"name@version": snapshot}``."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {f"{name}@{version}": breaker.snapshot()
+                for (name, version), breaker in breakers.items()}
+
+    def any_circuit_open(self):
+        """Is any model's circuit currently open (readiness probe input)?
+        A half-open circuit is probing its way back and does not count."""
+        return any(snapshot["state"] == "open"
+                   for snapshot in self.circuits().values())
+
     def stats(self):
         """Serving counters: batches, coalescing, queue depth, registry LRU,
         executor — the scrape surface behind the gateway's ``/v1/stats``."""
@@ -333,8 +506,15 @@ class ImputationService:
             "coalesced_requests": self.coalesced_requests,
             "pending_requests": pending,
             "inflight_requests": inflight,
+            "retries": self.retries,
+            "degraded_served": self.degraded_served,
+            "deadline_rejections": self.deadline_rejections,
+            "deadline_expired": self.deadline_expired,
+            "circuit_rejections": self.circuit_rejections,
             "registry": self.registry.stats(),
         }
+        if self.circuit_policy is not None:
+            stats["circuits"] = self.circuits()
         if self.executor is not None and hasattr(self.executor, "stats"):
             stats["executor"] = self.executor.stats()
         return stats
@@ -411,6 +591,9 @@ class ImputationService:
         served = 0
         first_error = None
         for resolved, queue in batches:
+            queue = self._reject_expired(queue)
+            if not queue:
+                continue
             try:
                 if self.executor is not None:
                     self._dispatch_batch(resolved, queue)
@@ -423,6 +606,24 @@ class ImputationService:
         if first_error is not None:
             raise first_error
         return served
+
+    def _reject_expired(self, queue):
+        """Resolve entries whose request deadline lapsed while queued with
+        :class:`DeadlineExceeded` (imputing them would only be late); returns
+        the still-live remainder.  The rejected entries were never tracked
+        as in-flight, so their tickets resolve directly."""
+        now = self.clock()
+        live = []
+        for entry in queue:
+            deadline = entry.request.deadline
+            if deadline is not None and deadline.expired(now):
+                with self._lock:
+                    self.deadline_expired += 1
+                entry.ticket._resolve(None, DeadlineExceeded(
+                    "deadline expired while the request was queued"))
+            else:
+                live.append(entry)
+        return live
 
     @staticmethod
     def _payload(entry):
@@ -447,17 +648,40 @@ class ImputationService:
             self._cond.notify_all()
 
     def _process_batch(self, resolved, entries):
-        """Serve one model's micro-batch inline; tickets absorb any failure."""
+        """Serve one model's micro-batch inline; tickets absorb any failure.
+
+        With a :class:`~repro.serving.resilience.RetryPolicy`, a failed
+        attempt restores every request's RNG stream to its pre-attempt state
+        and re-executes — a replay draws the exact noise a first-try
+        execution would, so retried responses stay bit-identical.
+        """
         started = self.clock()
+        key = (resolved.name, resolved.version)
+        payloads = [self._payload(entry) for entry in entries]
+        states = (_rng_states(payloads)
+                  if self.retry_policy is not None else None)
         self._track(len(entries))
-        try:
-            with self._serve_lock:
-                backend = self.registry.backend(resolved)
-                raws = execute_batch(backend,
-                                     [self._payload(entry) for entry in entries])
-        except Exception as error:
-            self._fail(entries, error)
-            raise
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                with self._serve_lock:
+                    # Injection point: the flush itself failing (inside the
+                    # try, so the tickets resolve with the error).
+                    faults.inject("service.flush")
+                    backend = self.registry.backend(resolved)
+                    raws = execute_batch(backend, payloads)
+                break
+            except Exception as error:
+                if (self.retry_policy is not None
+                        and self.retry_policy.should_retry(error, attempts)):
+                    _restore_rng_states(payloads, states)
+                    self._backoff_sleep(attempts)
+                    continue
+                self._record_failure(key, error)
+                self._fail(entries, error)
+                raise
+        self._record_success(key)
         self._complete(resolved, entries, raws, started)
 
     def _dispatch_batch(self, resolved, entries):
@@ -465,22 +689,54 @@ class ImputationService:
 
         The completion hooks run on the worker thread; a dispatch-time
         rejection (pool overloaded or stopped) resolves the tickets here and
-        re-raises so the flusher sees it.
+        re-raises so the flusher sees it.  With a retry policy, a retryable
+        worker failure (e.g. a crashed worker) re-dispatches the batch with
+        restored RNG streams instead of failing the tickets.
         """
         started = self.clock()
-        task = BatchTask(
-            spec=resolved.spec,
-            artifact_path=resolved.path,
-            payloads=[self._payload(entry) for entry in entries],
-            on_done=lambda raws: self._complete(resolved, entries, raws, started),
-            on_error=lambda error: self._fail(entries, error),
-        )
+        key = (resolved.name, resolved.version)
+        payloads = [self._payload(entry) for entry in entries]
+        states = (_rng_states(payloads)
+                  if self.retry_policy is not None else None)
+        attempts = [0]
+
+        def on_done(raws):
+            self._record_success(key)
+            self._complete(resolved, entries, raws, started)
+
+        def on_error(error):
+            # Runs on the pool worker's thread.  Re-dispatch sends the batch
+            # back through admission, so a retry can still be rejected
+            # (overloaded/stopped) — that rejection then fails the tickets.
+            if (self.retry_policy is not None
+                    and self.retry_policy.should_retry(error, attempts[0])):
+                _restore_rng_states(payloads, states)
+                self._backoff_sleep(attempts[0])
+                try:
+                    dispatch()
+                    return
+                except Exception as redispatch_error:
+                    error = redispatch_error
+            self._record_failure(key, error)
+            self._fail(entries, error)
+
+        def dispatch():
+            attempts[0] += 1
+            self.executor.dispatch(BatchTask(
+                spec=resolved.spec,
+                artifact_path=resolved.path,
+                payloads=payloads,
+                on_done=on_done,
+                on_error=on_error,
+            ))
+
         self._track(len(entries))
         try:
-            self.executor.dispatch(task)
+            dispatch()
         except Exception as error:
             # Rejected before the pool accepted it (overload/stopped), so the
             # completion hooks will never fire — resolve the tickets here.
+            self._record_failure(key, error)
             self._fail(entries, error)
             raise
 
@@ -495,12 +751,19 @@ class ImputationService:
     def _complete(self, resolved, entries, raws, started):
         """Resolve a served batch's tickets and update the counters."""
         batch_seconds = self.clock() - started
+        key = (resolved.name, resolved.version)
         with self._lock:
             self.batches += 1
             self.requests_served += len(entries)
             self.max_batch_observed = max(self.max_batch_observed, len(entries))
             if len(entries) > 1:
                 self.coalesced_requests += len(entries)
+            # Feed deadline admission: an EWMA of this model's batch time
+            # (includes queue-to-worker wait in executor mode, which is the
+            # latency a newly admitted request would actually see).
+            previous = self._batch_ewma.get(key)
+            self._batch_ewma[key] = (batch_seconds if previous is None
+                                     else 0.7 * previous + 0.3 * batch_seconds)
         for entry, raw in zip(entries, raws):
             response = ImputationResponse(
                 model=resolved.spec,
@@ -523,3 +786,18 @@ class ImputationService:
             return (model.name, model.version)
         resolved = self.registry.resolve(model)
         return (resolved.name, resolved.version)
+
+
+def _rng_states(payloads):
+    """Snapshot every payload's RNG stream state (pre-attempt), so a retry
+    can replay the batch bit-identically: the thread/inline execution paths
+    mutate ``payload.rng`` in place."""
+    return [copy.deepcopy(payload.rng.bit_generator.state)
+            if payload.rng is not None else None
+            for payload in payloads]
+
+
+def _restore_rng_states(payloads, states):
+    for payload, state in zip(payloads, states):
+        if state is not None:
+            payload.rng.bit_generator.state = copy.deepcopy(state)

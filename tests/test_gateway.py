@@ -28,6 +28,8 @@ import numpy as np
 import pytest
 
 from repro import (
+    CircuitBreakerPolicy,
+    FallbackRouter,
     ImputationRequest,
     ImputationService,
     ModelRegistry,
@@ -35,6 +37,7 @@ from repro import (
     PriSTIConfig,
     WorkerPool,
 )
+from repro.serving import faults
 from repro.serving.gateway import (
     JSON_CONTENT_TYPE,
     NPZ_CONTENT_TYPE,
@@ -577,6 +580,173 @@ class TestDrain:
 
 
 # ----------------------------------------------------------------------
+# Resilience surface: deadlines, readiness, circuits, degraded mode
+# ----------------------------------------------------------------------
+class TestResilienceProtocol:
+    def test_unmeetable_deadline_header_is_429(self, gateway_registry,
+                                               tiny_traffic_dataset):
+        service = ImputationService(gateway_registry, max_delay_seconds=10.0)
+        client = InProcessClient(Gateway(service))
+        try:
+            body = encode_impute_request(_request(tiny_traffic_dataset))
+            response = run(client.request("POST", "/v1/impute", body=body,
+                                          headers={"X-Deadline-Ms": "50"}))
+            assert response.status == 429
+            assert response.json()["error"] == "deadline_exceeded"
+            assert int(response.headers["Retry-After"]) >= 1
+        finally:
+            service.stop()
+
+    def test_invalid_deadline_header_is_400(self, client, tiny_traffic_dataset):
+        body = encode_impute_request(_request(tiny_traffic_dataset))
+        for raw in ("banana", "0", "-5", "999999999"):
+            response = run(client.request("POST", "/v1/impute", body=body,
+                                          headers={"X-Deadline-Ms": raw}))
+            assert response.status == 400, raw
+            assert response.json()["error"] == "bad_request"
+
+    def test_generous_deadline_served_untagged(self, client,
+                                               tiny_traffic_dataset):
+        body = encode_impute_request(_request(tiny_traffic_dataset))
+        response = run(client.request("POST", "/v1/impute?sync=1", body=body,
+                                      headers={"X-Deadline-Ms": "60000"}))
+        assert response.status == 200
+        payload = decode_response_body(response.content_type, response.body)
+        # The primary path never carries the degraded tag (legacy bytes).
+        assert "degraded" not in payload
+
+    def test_degraded_fallback_tagged_over_wire(self, gateway_registry,
+                                                tiny_traffic_dataset):
+        """An unmeetable-but-live deadline with a fallback configured serves
+        the degraded statistical imputation, tagged in the metadata."""
+        service = ImputationService(gateway_registry, max_delay_seconds=10.0,
+                                    fallback=FallbackRouter())
+        client = InProcessClient(Gateway(service))
+        try:
+            request = _request(tiny_traffic_dataset)
+            body = encode_impute_request(request)
+            response = run(client.request("POST", "/v1/impute?sync=1",
+                                          body=body,
+                                          headers={"X-Deadline-Ms": "50"}))
+            assert response.status == 200
+            payload = decode_response_body(response.content_type,
+                                           response.body)
+            assert bool(payload["degraded"]) is True
+            assert np.all(np.isfinite(payload["median"]))
+            observed = request.observed_mask & np.isfinite(request.values)
+            assert np.array_equal(payload["median"][observed],
+                                  request.values[observed])
+            assert service.stats()["degraded_served"] == 1
+        finally:
+            service.stop()
+
+    def test_liveness_and_readiness_split(self, gateway, client):
+        async def go():
+            live = await client.request("GET", "/v1/healthz/live")
+            ready = await client.request("GET", "/v1/healthz/ready")
+            assert live.status == 200 and live.json()["live"] is True
+            assert ready.status == 200 and ready.json()["ready"] is True
+            assert ready.json()["reasons"] == []
+            await gateway.drain()
+            # Draining: still live (don't restart), no longer ready.
+            live = await client.request("GET", "/v1/healthz/live")
+            ready = await client.request("GET", "/v1/healthz/ready")
+            health = await client.request("GET", "/v1/healthz")
+            assert live.status == 200
+            assert ready.status == 503
+            assert ready.json()["reasons"] == ["draining"]
+            assert int(ready.headers["Retry-After"]) >= 1
+            assert health.status == 200            # legacy endpoint stays 200
+            assert health.json()["ready"] is False
+            return True
+
+        assert run(go())
+
+    def test_readiness_gates_on_dead_workers(self, gateway_registry):
+        pool = WorkerPool(num_workers=2, mode="process")
+        service = ImputationService(gateway_registry, executor=pool)
+        client = InProcessClient(Gateway(service))
+        try:
+            assert run(client.request("GET", "/v1/healthz/ready")).status == 200
+            pool.dead_workers[0] = True            # a child died, not respawned
+            ready = run(client.request("GET", "/v1/healthz/ready"))
+            assert ready.status == 503
+            assert "dead_workers" in ready.json()["reasons"]
+        finally:
+            service.stop()
+            pool.stop()
+
+    def test_open_circuit_gates_readiness_and_maps_to_503(
+            self, gateway_registry, tiny_traffic_dataset):
+        service = ImputationService(
+            gateway_registry,
+            circuit_policy=CircuitBreakerPolicy(failure_threshold=1))
+        client = InProcessClient(Gateway(service))
+        try:
+            async def go():
+                body = encode_impute_request(_request(tiny_traffic_dataset))
+                with faults.active([{"point": "service.flush", "hits": [1]}]):
+                    submitted = await client.request("POST", "/v1/impute",
+                                                     body=body)
+                    assert submitted.status == 202
+                    with pytest.raises(Exception):
+                        service.flush()            # trips the breaker
+                ready = await client.request("GET", "/v1/healthz/ready")
+                assert ready.status == 503
+                assert "circuit_open" in ready.json()["reasons"]
+                rejected = await client.request("POST", "/v1/impute",
+                                                body=body)
+                assert rejected.status == 503
+                assert rejected.json()["error"] == "circuit_open"
+                assert int(rejected.headers["Retry-After"]) >= 1
+                stats = await client.request("GET", "/v1/stats")
+                circuits = stats.json()["service"]["circuits"]
+                assert circuits["traffic@1"]["state"] == "open"
+                return True
+
+            assert run(go())
+        finally:
+            service.stop()
+
+    def test_retry_after_is_load_aware(self, gateway_registry,
+                                       tiny_traffic_dataset):
+        """Retry-After is derived from the queue and the flush interval —
+        here 4 waiting requests fit one batch, so the hint is exactly one
+        30 s flush interval (the batch size is far above the queue so the
+        service's background worker cannot race a size-triggered flush)."""
+        service = ImputationService(gateway_registry, max_batch_requests=100,
+                                    max_delay_seconds=30.0, max_queue_depth=4)
+        client = InProcessClient(Gateway(service))
+        try:
+            async def go():
+                body = encode_impute_request(_request(tiny_traffic_dataset))
+                for _ in range(4):
+                    accepted = await client.request("POST", "/v1/impute",
+                                                    body=body)
+                    assert accepted.status == 202
+                shed = await client.request("POST", "/v1/impute", body=body)
+                assert shed.status == 429
+                assert shed.headers["Retry-After"] == "30"
+                return True
+
+            assert run(go())
+        finally:
+            service.stop()
+
+    def test_retry_after_scales_with_queue_depth(self, service,
+                                                 monkeypatch):
+        """Deeper queues push the hint out: with 2 requests per batch and a
+        5 s interval, 0 waiting → 1 batch → 5 s, 9 waiting → 5 batches →
+        25 s, and a huge backlog clamps at 60 s."""
+        gateway = Gateway(service)
+        monkeypatch.setattr(service, "max_batch_requests", 2)
+        monkeypatch.setattr(service, "max_delay_seconds", 5.0)
+        for waiting, expected in ((0, "5"), (9, "25"), (1000, "60")):
+            monkeypatch.setattr(service, "pending", lambda n=waiting: n)
+            assert gateway._retry_after() == expected
+
+
+# ----------------------------------------------------------------------
 # Wire framing over in-memory streams (no sockets)
 # ----------------------------------------------------------------------
 class _RecordingWriter:
@@ -681,6 +851,37 @@ class TestWireFraming:
                    + body)
         writer = _drive_wire(gateway, payload)
         assert writer.data.startswith(b"HTTP/1.1 200 OK\r\n")
+
+
+class TestWireFaults:
+    def test_connection_drop_closes_without_response(self, gateway):
+        with faults.active([{"point": "gateway.connection_drop",
+                             "hits": [1]}]):
+            writer = _drive_wire(gateway, b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        # The connection handler absorbs the reset: nothing written, closed,
+        # and no exception escaped to the caller.
+        assert writer.data == b""
+        assert writer.closed
+
+    def test_truncated_body_underdelivers_content_length(self, gateway):
+        clean = _drive_wire(gateway, b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        _, _, full_body = clean.data.partition(b"\r\n\r\n")
+        with faults.active([{"point": "gateway.truncated_body", "hits": [1]}]):
+            writer = _drive_wire(gateway, b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        # The head promises the full body; the wire delivers only part of it,
+        # then the connection dies — exactly what a client must survive.
+        assert f"Content-Length: {len(full_body)}".encode() in head
+        assert 0 < len(body) < len(full_body)
+        assert writer.closed
+
+    def test_faults_only_fire_when_scheduled(self, gateway):
+        with faults.active([{"point": "gateway.connection_drop",
+                             "hits": [2]}]):
+            first = _drive_wire(gateway, b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+            second = _drive_wire(gateway, b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        assert first.data.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert second.data == b""
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,13 @@ from repro import (
     WorkerPool,
 )
 from repro.inference.backend import BackendCache
-from repro.serving import BatchTask, PoolStopped, RequestPayload, WorkerCrashed
+from repro.serving import (
+    BatchTask,
+    PoolStopped,
+    RequestPayload,
+    WorkerCrashed,
+    faults,
+)
 from repro.tensor import dtype_scope, get_default_dtype, is_grad_enabled, no_grad
 
 
@@ -285,6 +291,45 @@ class TestFailureContract:
                                       execute=lambda wid: probe.append(wid)))
             assert pool.wait_idle(timeout=5.0)
             assert probe
+
+    def test_crash_storm_on_one_shard_does_not_livelock_peers(self):
+        """Repeated injected crashes on one hot shard: every affected task's
+        ticket resolves with ``WorkerCrashed``, stealing peers never wedge,
+        and no queue slots leak (backlog returns to zero)."""
+        storm = 5
+        pool = WorkerPool(num_workers=2, steal=True)
+        errors = []
+        storm_done = threading.Event()
+
+        def on_error(error):
+            errors.append(error)
+            if len(errors) == storm:
+                storm_done.set()
+
+        with pool:
+            with faults.active([{"point": "pool.worker_crash",
+                                 "after": 0, "count": storm}]):
+                for _ in range(storm):
+                    pool.dispatch(_dummy_task("hot@1",
+                                              execute=lambda wid: None,
+                                              on_error=on_error))
+                assert storm_done.wait(timeout=10.0)
+            assert len(errors) == storm
+            assert all(isinstance(error, WorkerCrashed) for error in errors)
+            # Both shards keep scheduling after the storm: tasks spread across
+            # every spec execute, including on the previously crashing shard.
+            executed = []
+            for index in range(8):
+                pool.dispatch(_dummy_task(
+                    f"model-{index}@1",
+                    execute=lambda wid: executed.append(wid)))
+            assert pool.wait_idle(timeout=10.0)
+            assert len(executed) == 8
+            stats = pool.stats()
+            assert stats["crashed_batches"] == storm
+            assert stats["backlog_requests"] == 0       # no leaked slots
+            assert stats["in_flight_batches"] == 0
+            assert stats["dead_workers"] == 0   # thread workers survive crashes
 
     def test_worker_process_crash_resolves_tickets_and_respawns(
             self, registry, tiny_traffic_dataset):

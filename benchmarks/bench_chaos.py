@@ -16,6 +16,17 @@ serving stack's core resilience invariant rather than wall-clock numbers:
 * **clean-run bit-identity** — with the injector uninstalled, the same
   service (resilience stack still wired) serves bits identical to a bare
   service, so the machinery is free when healthy.
+* **zero leaked shm segments** — in process mode every shared-memory
+  segment the pool's transport arenas ever created must be unlinked by the
+  time the pool stops, whatever the schedule crashed or faulted mid-batch
+  (trivially true in thread mode, where no segments exist).
+
+``REPRO_CHAOS_POOL_MODE=process`` runs the same schedule against process
+workers and the zero-copy shm transport, with extra parent-side rules
+(``transport.stage``, ``transport.shm_detach``) and a child-side plan
+(``backend.load``, ``transport.shm_attach``) delivered to the spawned
+workers via ``REPRO_FAULT_PLAN``.  The default is the historical thread
+pool, so ``chaos.json`` numbers stay comparable run over run.
 
 The payload carries the full error taxonomy (outcome counts by type), the
 injector's per-point invocation/fire counts, and the flags above.  Results
@@ -26,6 +37,7 @@ land in ``benchmarks/results/chaos.json`` and are validated by
 """
 
 import json
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -45,7 +57,7 @@ from repro import (
 )
 from repro.data import metr_la_like
 from repro.experiments import get_profile
-from repro.serving import WorkerCrashed, faults
+from repro.serving import TransportError, WorkerCrashed, faults
 from repro.serving.errors import ServingError
 from repro.serving.faults import InjectedFault
 
@@ -71,16 +83,52 @@ FAULT_PLAN = {
     ],
 }
 
+#: Extra parent-side rules for process mode: staging and detach faults hit
+#: the shm transport itself, so the gate proves slot reclamation under the
+#: exact failure modes the arena was built to survive.
+PROCESS_FAULT_RULES = [
+    {"point": "transport.stage", "probability": 0.15},
+    {"point": "transport.shm_detach", "probability": 0.1},
+]
+
+#: Child-side plan for process mode, delivered via ``REPRO_FAULT_PLAN`` to
+#: the spawned workers (the parent's installed injector does not cross the
+#: process boundary): artifact loads fail and arena attaches fault inside
+#: the children themselves.
+CHILD_FAULT_PLAN = {
+    "seed": CHAOS_SEED,
+    "rules": [
+        {"point": "backend.load", "probability": 0.2},
+        {"point": "transport.shm_attach", "probability": 0.15},
+    ],
+}
+
 
 def _smoke_mode():
     return get_profile().name == "smoke"
+
+
+def _pool_mode():
+    """``thread`` (default, historical numbers) or ``process`` via env."""
+    mode = os.environ.get("REPRO_CHAOS_POOL_MODE", "thread").strip() or "thread"
+    if mode not in ("thread", "process"):
+        raise SystemExit(f"REPRO_CHAOS_POOL_MODE must be thread|process, "
+                         f"got {mode!r}")
+    return mode
+
+
+def _fault_plan(mode):
+    plan = {"seed": CHAOS_SEED, "rules": list(FAULT_PLAN["rules"])}
+    if mode == "process":
+        plan["rules"] += PROCESS_FAULT_RULES
+    return plan
 
 
 def _num_requests():
     return 12 if _smoke_mode() else 48
 
 
-def _build_service(root):
+def _build_service(root, mode):
     dataset = metr_la_like(num_nodes=NUM_NODES, num_days=4, steps_per_day=24,
                            missing_pattern="block", seed=3)
     steps = 8 if _smoke_mode() else 20
@@ -91,12 +139,12 @@ def _build_service(root):
     model = PriSTI(config).fit(dataset)
     registry = ModelRegistry(root)
     registry.publish(model, "bench")
-    pool = WorkerPool(num_workers=NUM_WORKERS)
+    pool = WorkerPool(num_workers=NUM_WORKERS, mode=mode)
     service = ImputationService(
         registry, executor=pool, max_batch_requests=4,
         retry_policy=RetryPolicy(max_attempts=2, base_delay_seconds=0.002,
-                                 retry_on=(WorkerCrashed, OSError,
-                                           InjectedFault)),
+                                 retry_on=(WorkerCrashed, TransportError,
+                                           OSError, InjectedFault)),
         circuit_policy=CircuitBreakerPolicy(failure_threshold=4,
                                             reset_timeout_seconds=0.05),
         fallback=FallbackRouter(),
@@ -123,12 +171,12 @@ def _requests(dataset, count):
     ]
 
 
-def _run_chaos(service, pool, requests):
+def _run_chaos(service, pool, requests, plan):
     """Issue everything under the pinned plan; account for every ticket."""
     outcomes = {"ok": 0, "degraded": 0}
     issued = 0
     hung = 0
-    with faults.active(FAULT_PLAN) as injector:
+    with faults.active(plan) as injector:
         tickets = []
         for request in requests:
             issued += 1
@@ -192,18 +240,31 @@ def _clean_run_identity(service, registry_root, requests):
 
 
 def run_benchmark():
+    mode = _pool_mode()
+    plan = _fault_plan(mode)
+    env_plan_set = False
     with tempfile.TemporaryDirectory() as root:
-        service, pool, dataset, steps = _build_service(root)
+        service, pool, dataset, steps = _build_service(root, mode)
         requests = _requests(dataset, _num_requests())
         try:
+            if mode == "process":
+                # Spawned children install this at import; the parent's
+                # injector (installed below) never crosses the boundary.
+                os.environ[faults.ENV_PLAN] = json.dumps(CHILD_FAULT_PLAN)
+                env_plan_set = True
             with pool:
                 started = time.perf_counter()
-                payload = _run_chaos(service, pool, requests)
+                payload = _run_chaos(service, pool, requests, plan)
                 payload["chaos_seconds"] = round(
                     time.perf_counter() - started, 4)
                 payload["clean_run_bit_identical"] = _clean_run_identity(
                     service, root, requests[:3])
+            # Read AFTER stop: only then have all arenas been destroyed, so
+            # the zero-leak flag certifies the pool's whole lifetime.
+            transport = pool.transport_stats()
         finally:
+            if env_plan_set:
+                os.environ.pop(faults.ENV_PLAN, None)
             service.stop()
     payload.update({
         "seed": CHAOS_SEED,
@@ -211,6 +272,16 @@ def run_benchmark():
         "window_length": WINDOW_LENGTH,
         "num_diffusion_steps": steps,
         "num_workers": NUM_WORKERS,
+        "pool_mode": mode,
+        "transport": {key: transport[key]
+                      for key in ("segments_created", "segments_unlinked",
+                                  "segments_active", "live_slots",
+                                  "batches_staged", "rebuilds")},
+        "zero_leaked_shm_segments": (
+            transport["segments_active"] == 0
+            and transport["live_slots"] == 0
+            and transport["segments_created"] == transport["segments_unlinked"]
+        ),
     })
     return payload
 
@@ -222,6 +293,7 @@ def test_bench_chaos(save_json):
     assert payload["all_tickets_resolved"]
     assert payload["zero_hung_requests"]
     assert payload["clean_run_bit_identical"]
+    assert payload["zero_leaked_shm_segments"]
     assert payload["injector"]["fired"], "the pinned plan injected nothing"
 
 
@@ -238,3 +310,5 @@ if __name__ == "__main__":
         raise SystemExit(f"{payload['hung_requests']} request(s) hung")
     if not payload["clean_run_bit_identical"]:
         raise SystemExit("resilience stack changed bits with faults disabled")
+    if not payload["zero_leaked_shm_segments"]:
+        raise SystemExit("the pool leaked shared-memory transport segments")

@@ -4,22 +4,27 @@ The :class:`~repro.serving.WorkerPool` fans flushed micro-batches out across
 N workers with shard-aware routing, so traffic spread over several published
 models executes in parallel — thread workers overlap in the BLAS kernels
 (which release the GIL), process workers overlap unconditionally.  This
-benchmark publishes one trained model under ``NUM_SHARDS`` names, fires the
-same seeded request burst at pools of 1, 2 and 4 workers in both modes, and
-records the throughput curve plus per-request latency percentiles
-(p50/p95/p99 of queue wait + batch execution) for every cell.
+benchmark publishes one trained model under ``NUM_SHARDS`` names, warm
+pre-forks every pool (``pool.prewarm`` pushes each published artifact onto
+every worker before the first request), fires the same seeded request burst
+at pools of 1, 2 and 4 workers in both modes, and records for every cell the
+throughput curve, per-request latency percentiles (p50/p95/p99 of queue wait
++ batch execution), the transport cost per request (pickled control bytes on
+the worker channel vs tensor payload bytes carried zero-copy through the
+shared-memory arena), and the warm-load phase (wall seconds + per-worker
+model load time).
 
 Floors
 ------
 * **Bit-identity (always enforced, smoke included):** every pooled response —
   any worker count, either mode — must equal the same request through
   ``service.serve`` alone.  Parallelism must be invisible in the bits.
-* **Scaling (hardware-gated):** on the fast/full profiles *and* a host with
-  ≥ 4 CPU cores, the better of the two modes must reach ``MIN_SCALING``x
-  throughput at 4 workers vs 1.  A single-core host cannot express parallel
-  speedup whatever the scheduler does, so the floor is recorded but not
-  asserted there (``scaling_floor_enforced`` in the JSON says which case
-  ran); the smoke profile skips it like every other wall-clock floor.
+* **Scaling (hardware-gated):** on any host with ≥ 4 CPU cores — smoke
+  profile included, there is no profile escape hatch — *each* mode must
+  reach ``MIN_SCALING``x throughput at 4 workers vs 1.  A single-core host
+  cannot express parallel speedup whatever the scheduler does, so the floor
+  is recorded but not asserted there (``scaling_floor_enforced`` in the
+  JSON says which case ran).
 
 Results land in ``benchmarks/results/pool_scaling.json``.  Run directly
 (``PYTHONPATH=src python benchmarks/bench_pool_scaling.py``) or through
@@ -71,9 +76,10 @@ def _percentiles(latencies_seconds):
 
 
 def _floor_enforced():
-    """The scaling floor needs both a timing-grade profile and the cores to
-    physically run 4 workers in parallel."""
-    return not _smoke_mode() and (os.cpu_count() or 1) >= max(WORKER_COUNTS)
+    """The scaling floor needs only the cores to physically run 4 workers in
+    parallel — a relative speedup holds on any profile, so smoke runs assert
+    it too (unlike the absolute wall-clock floors elsewhere)."""
+    return (os.cpu_count() or 1) >= max(WORKER_COUNTS)
 
 
 def _build_registry(root):
@@ -116,24 +122,60 @@ def _requests(dataset):
 
 
 def _run_pooled(registry, requests, mode, num_workers):
-    """Wall-clock of the burst through a fresh pool (after a warm-up burst
-    that spawns workers/processes and loads every shard's model)."""
+    """Wall-clock of the burst through a fresh, warm pre-forked pool.
+
+    The warm phase is what production gets from ``pool.watch(registry)``:
+    every shard's artifact is pushed onto every worker before the first
+    request, so the timed burst measures steady-state transport + execution,
+    never model rehydration.  A throwaway burst between warm and timed fills
+    the service's batch-time estimators.  Returns
+    ``(seconds, responses, transport, warm)`` where ``transport`` is the
+    per-request byte accounting over the timed burst only and ``warm``
+    describes the pre-fork phase.
+    """
     pool = WorkerPool(num_workers=num_workers, mode=mode,
-                      max_queue_depth=10 * len(requests))
+                      max_queue_depth=10 * len(requests),
+                      max_loaded_per_worker=NUM_SHARDS + 1)
     service = ImputationService(registry, max_batch_requests=REQUESTS_PER_SHARD,
                                 max_delay_seconds=10.0, executor=pool)
     with pool:
-        warm = [service.submit(request) for request in requests]
+        warm_started = time.perf_counter()
+        for shard in range(NUM_SHARDS):
+            pool.prewarm(registry.resolve(f"shard{shard}").path,
+                         generation=registry.generation)
+        pool.wait_idle(timeout=600)
+        warm_seconds = time.perf_counter() - warm_started
+        stats = pool.stats()
+        warm = {
+            "wall_seconds": round(warm_seconds, 4),
+            "models_warmed": stats["warmed_models"],
+            "load_seconds_per_worker": [
+                round(seconds, 4) for seconds in stats["warm_seconds"]],
+        }
+
+        throwaway = [service.submit(request) for request in requests]
         service.flush()
-        for ticket in warm:
+        for ticket in throwaway:
             ticket.result(timeout=600)
 
+        before = pool.transport_stats()
         started = time.perf_counter()
         tickets = [service.submit(request) for request in requests]
         service.flush()
         responses = [ticket.result(timeout=600) for ticket in tickets]
         seconds = time.perf_counter() - started
-    return seconds, responses
+        after = pool.transport_stats()
+    delta = {key: after[key] - before[key]
+             for key in ("control_bytes_sent", "control_bytes_received",
+                         "shm_bytes_staged")}
+    transport = {
+        "control_bytes_per_request": round(
+            (delta["control_bytes_sent"] + delta["control_bytes_received"])
+            / len(requests), 1),
+        "shm_payload_bytes_per_request": round(
+            delta["shm_bytes_staged"] / len(requests), 1),
+    }
+    return seconds, responses, transport, warm
 
 
 def run_benchmark():
@@ -152,8 +194,8 @@ def run_benchmark():
         for mode in MODES:
             cells = {}
             for num_workers in WORKER_COUNTS:
-                seconds, responses = _run_pooled(registry, requests, mode,
-                                                 num_workers)
+                seconds, responses, transport, warm = _run_pooled(
+                    registry, requests, mode, num_workers)
                 identical = identical and all(
                     np.array_equal(reference.samples, response.samples)
                     for reference, response in zip(references, responses)
@@ -166,6 +208,12 @@ def run_benchmark():
                     "latency_ms": _percentiles(
                         [response.queued_seconds + response.batch_seconds
                          for response in responses]),
+                    # Bytes crossing the worker boundary per request over the
+                    # timed burst: pickled control messages vs tensor payload
+                    # staged zero-copy through the shm arena (zeros in thread
+                    # mode, where no bytes cross at all).
+                    "transport": transport,
+                    "warm": warm,
                 }
             base = cells[WORKER_COUNTS[0]]["seconds"]
             modes[mode] = {
@@ -196,9 +244,11 @@ def test_bench_pool_scaling(save_json):
     save_json("pool_scaling", payload)
     # Parallelism must be invisible in the numbers...
     assert payload["bit_identical_to_serve_alone"]
-    # ...and visible in the wall-clock where the hardware can express it.
+    # ...and visible in the wall-clock where the hardware can express it —
+    # in BOTH modes, not just the better one.
     if payload["scaling_floor_enforced"]:
-        assert payload["speedup_at_4"] >= MIN_SCALING
+        for mode in MODES:
+            assert payload["modes"][mode]["speedup_at_4"] >= MIN_SCALING, mode
 
 
 if __name__ == "__main__":
@@ -210,8 +260,11 @@ if __name__ == "__main__":
     print(json.dumps(payload, indent=2, sort_keys=True))
     if not payload["bit_identical_to_serve_alone"]:
         raise SystemExit("pooled responses diverged from serve-alone")
-    if payload["scaling_floor_enforced"] and payload["speedup_at_4"] < MIN_SCALING:
-        raise SystemExit(
-            f"4-worker speedup {payload['speedup_at_4']}x below the "
-            f"{MIN_SCALING}x floor"
-        )
+    if payload["scaling_floor_enforced"]:
+        for mode in MODES:
+            speedup = payload["modes"][mode]["speedup_at_4"]
+            if speedup < MIN_SCALING:
+                raise SystemExit(
+                    f"{mode}-mode 4-worker speedup {speedup}x below the "
+                    f"{MIN_SCALING}x floor"
+                )

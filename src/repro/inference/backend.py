@@ -38,6 +38,7 @@ request alone.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -72,6 +73,24 @@ def load_backend(artifact_path):
     return load_model(artifact_path).backend()
 
 
+#: The artifact files whose ``(mtime_ns, size)`` pair identifies a publish:
+#: ``save_model`` stages and atomically swaps both, so an in-place republish
+#: of the same version always changes this signature.
+_ARTIFACT_FILES = ("manifest.json", "arrays.npz")
+
+
+def _artifact_signature(artifact_path):
+    """A cheap on-disk fingerprint of an artifact (two ``stat`` calls)."""
+    signature = []
+    for name in _ARTIFACT_FILES:
+        try:
+            stat = os.stat(os.path.join(artifact_path, name))
+            signature.append((name, stat.st_mtime_ns, stat.st_size))
+        except OSError:
+            signature.append((name, None, None))
+    return tuple(signature)
+
+
 class BackendCache:
     """A small per-worker LRU of rehydrated backends keyed by artifact path.
 
@@ -82,36 +101,75 @@ class BackendCache:
     **not** shared — one instance per worker means one model instance per
     worker, so concurrent workers never run inference through the same
     mutable network object.
+
+    Staleness is generation-gated.  A registry ``publish`` may overwrite an
+    existing version *path* in place, so a path-keyed cache can silently
+    serve a superseded model.  Callers that know the registry's publish
+    ``generation`` pass it to :meth:`get`:
+
+    * generation unchanged since the entry was cached → pure LRU hit, **no
+      filesystem access** (the steady-state request path);
+    * generation bumped (or unknown) → one cheap ``stat`` probe of the
+      artifact files; the backend is re-loaded only when the on-disk
+      signature actually changed (``stale_reloads``), otherwise the entry is
+      revalidated against the new generation and stays resident.
     """
 
     def __init__(self, max_loaded=4):
         if max_loaded < 1:
             raise ValueError("max_loaded must be a positive integer")
         self.max_loaded = int(max_loaded)
-        self._backends = OrderedDict()    # artifact path -> backend
+        # artifact path -> [backend, generation, on-disk signature]
+        self._backends = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stat_probes = 0
+        self.stale_reloads = 0
 
-    def get(self, artifact_path):
-        """The backend for an artifact path, loading and evicting as needed."""
-        backend = self._backends.get(artifact_path)
-        if backend is not None:
-            self._backends.move_to_end(artifact_path)
-            self.hits += 1
-            return backend
+    def get(self, artifact_path, generation=None):
+        """The backend for an artifact path, loading and evicting as needed.
+
+        ``generation`` is the caller's view of the registry publish counter
+        (see :attr:`repro.serving.ModelRegistry.generation`); ``None`` means
+        unknown, which degrades to a stat probe per call — still correct,
+        just not free.
+        """
+        entry = self._backends.get(artifact_path)
+        if entry is not None:
+            backend, cached_generation, cached_signature = entry
+            if generation is not None and generation == cached_generation:
+                self._backends.move_to_end(artifact_path)
+                self.hits += 1
+                return backend
+            self.stat_probes += 1
+            if _artifact_signature(artifact_path) == cached_signature:
+                # Same bytes on disk — revalidate against the new generation
+                # so the next steady-state call skips the probe too.
+                entry[1] = generation
+                self._backends.move_to_end(artifact_path)
+                self.hits += 1
+                return backend
+            self.stale_reloads += 1
+            del self._backends[artifact_path]
         self.misses += 1
+        # Snapshot the signature *before* loading: if a republish lands
+        # mid-load we cache the older signature and the next probe reloads,
+        # instead of pinning fresh stat data to a half-superseded backend.
+        signature = _artifact_signature(artifact_path)
         backend = load_backend(artifact_path)
-        self._backends[artifact_path] = backend
+        self._backends[artifact_path] = [backend, generation, signature]
         while len(self._backends) > self.max_loaded:
             self._backends.popitem(last=False)
             self.evictions += 1
         return backend
 
     def stats(self):
-        """Cache counters (hits / misses / evictions / resident)."""
+        """Cache counters (hits / misses / evictions / staleness probes)."""
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "resident": len(self._backends)}
+                "evictions": self.evictions, "resident": len(self._backends),
+                "stat_probes": self.stat_probes,
+                "stale_reloads": self.stale_reloads}
 
 
 #: Process-global cache used by pool worker *processes*: each worker process
@@ -119,15 +177,16 @@ class BackendCache:
 _PROCESS_BACKENDS = BackendCache(max_loaded=4)
 
 
-def process_backend(artifact_path):
+def process_backend(artifact_path, generation=None):
     """The calling process's resident backend for ``artifact_path``.
 
     Entry point of the process-pool workers (see
     :func:`repro.serving.pool._process_worker_main`): rehydration happens at
     most once per (process, artifact) thanks to the process-global
-    :class:`BackendCache`.
+    :class:`BackendCache`.  ``generation`` rides in from the parent's control
+    message so steady-state batches skip the artifact stat probe entirely.
     """
-    return _PROCESS_BACKENDS.get(artifact_path)
+    return _PROCESS_BACKENDS.get(artifact_path, generation=generation)
 
 
 @dataclass

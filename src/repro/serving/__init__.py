@@ -48,6 +48,7 @@ from .errors import (
     PoolStopped,
     ServiceOverloaded,
     ServingError,
+    TransportError,
     WorkerCrashed,
 )
 from .gateway import (
@@ -89,6 +90,7 @@ __all__ = [
     "ServiceOverloaded",
     "PoolStopped",
     "WorkerCrashed",
+    "TransportError",
     "CircuitOpen",
     "DeadlineExceeded",
     "Deadline",

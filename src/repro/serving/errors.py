@@ -23,6 +23,7 @@ __all__ = [
     "ServiceOverloaded",
     "PoolStopped",
     "WorkerCrashed",
+    "TransportError",
     "CircuitOpen",
     "DeadlineExceeded",
     "GATEWAY_STATUS",
@@ -44,6 +45,12 @@ class PoolStopped(ServingError):
 
 class WorkerCrashed(ServingError):
     """A worker died mid-batch; its tickets carry this error."""
+
+
+class TransportError(ServingError):
+    """The shared-memory transport failed (staging, segment attach, or
+    detach).  Retryable by default: a retry re-stages the batch into fresh
+    arena slots, so a transient shm failure never strands a ticket."""
 
 
 class CircuitOpen(ServingError):
@@ -79,6 +86,7 @@ GATEWAY_STATUS = (
     (CircuitOpen, 503, "circuit_open"),
     (PoolStopped, 503, "pool_stopped"),
     (WorkerCrashed, 500, "worker_crashed"),
+    (TransportError, 500, "transport_error"),
     (ServingError, 500, "serving_error"),
 )
 

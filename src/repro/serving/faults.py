@@ -84,6 +84,11 @@ INJECTION_POINTS = {
     "backend.load": "load_backend: worker-side model rehydration fails",
     "pool.worker_crash": "WorkerPool: worker dies mid-batch (WorkerCrashed)",
     "pool.worker_stall": "WorkerPool: slow worker — stall before executing",
+    "transport.stage": "ShmArena.stage: staging a batch into the arena fails",
+    "transport.shm_attach": "Worker side: attaching a shared-memory segment "
+                            "by name fails (TransportError)",
+    "transport.shm_detach": "ShmArena release: freeing staged slots fails — "
+                            "the arena must rebuild, not leak",
     "service.flush": "ImputationService: batch execution fails at flush",
     "service.queue_stall": "ImputationService: stall before flushing queues",
     "gateway.connection_drop": "Gateway wire: drop the connection pre-response",

@@ -14,12 +14,17 @@ Two execution modes share one scheduling core:
     so no network object is ever shared across threads.
 
 ``mode="process"``
-    Each worker thread drives a dedicated child process that rehydrates
-    models from the registry's artifact tree on first use
-    (:func:`repro.inference.backend.process_backend`) and executes batches
-    with true parallelism.  Per-request RNG ``Generator`` objects are
-    pickled to the child, so a process-served response is bit-identical to
-    the same request served in-process.
+    Each worker thread drives a dedicated child process over a **zero-copy
+    shared-memory transport** (:mod:`repro.serving.transport`).  Request and
+    response tensors live in a per-worker shm arena and cross the process
+    boundary as ``(segment, offset, shape, dtype)`` descriptors; the
+    persistent pipe carries only those small control records plus each
+    request's RNG ``Generator`` (pickled with its exact state, which is what
+    keeps a process-served response bit-identical to the same request served
+    in-process).  Models are rehydrated child-side at most once per
+    (process, artifact, registry generation) — and usually *before* the
+    first request, via warm pre-fork (:meth:`WorkerPool.watch` /
+    :meth:`WorkerPool.prewarm`).
 
 Scheduling
 ----------
@@ -32,6 +37,13 @@ Scheduling
   stays put for its home worker, which has the model resident).  Stealing
   costs the thief a cold model load but bounds the tail latency of a hot
   shard; disable with ``steal=False`` to pin shards strictly.
+* **Batch splitting** — when a multi-request batch arrives while the pool is
+  otherwise idle (no backlog, siblings parked), it is split across the idle
+  workers that already have the model resident (warm pre-fork makes that all
+  of them) and rejoined on completion, so ``num_workers`` workers help even
+  at low request concurrency.  Safe because each request samples from its
+  own RNG stream and per-request bits are independent of batch composition
+  (the serve-alone == batched invariant); disable with ``split=False``.
 * **Admission control** — ``max_queue_depth`` bounds the number of queued
   (not yet executing) *requests* across all shards; dispatching beyond it
   raises :class:`ServiceOverloaded` so callers shed load instead of queueing
@@ -39,7 +51,9 @@ Scheduling
 * **Drain-on-stop** — ``stop(drain=True)`` (the default, also the context
   manager exit) completes every queued batch before the workers exit;
   ``stop(drain=False)`` fails queued batches with :class:`PoolStopped` and
-  only lets in-flight ones finish.
+  only lets in-flight ones finish.  Both paths destroy every worker arena —
+  zero shared-memory segments survive a stopped pool, and a crashed worker's
+  arena is torn down with it (staged slots are reclaimed, never leaked).
 
 Bit-identity
 ------------
@@ -47,13 +61,18 @@ The pool never changes what is computed, only where: batches are executed by
 :func:`execute_batch` exactly as the service's inline path executes them, each
 request samples from its own RNG stream, and per-worker model instances plus
 thread-local autograd/dtype scopes (:mod:`repro.tensor`) keep concurrent
-batches from perturbing each other.  ``tests/test_pool.py`` pins pooled ==
-serve-alone in float32 and float64 for both modes.
+batches from perturbing each other.  The shm transport moves bytes, not
+maths: staging writes the backend's own idempotent request normalisation
+into the arena, and responses are copied out verbatim.  ``tests/test_pool.py``
+pins pooled == serve-alone in float32 and float64 for both modes;
+``tests/test_pool_transport.py`` pins the arena lifecycle.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
+import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -62,10 +81,11 @@ import numpy as np
 
 from ..inference.backend import BackendCache, process_backend
 from . import faults
-from .errors import PoolStopped, ServiceOverloaded, WorkerCrashed
+from .errors import PoolStopped, ServiceOverloaded, TransportError, WorkerCrashed
+from .transport import DEFAULT_SEGMENT_BYTES, ShmArena
 
 __all__ = ["WorkerPool", "ServiceOverloaded", "PoolStopped", "WorkerCrashed",
-           "RequestPayload", "BatchTask", "execute_batch"]
+           "TransportError", "RequestPayload", "BatchTask", "execute_batch"]
 
 
 @dataclass
@@ -75,7 +95,9 @@ class RequestPayload:
     This is the wire format between the service and the pool workers: raw
     arrays plus the request's private RNG stream (``numpy.random.Generator``
     pickles with its exact state, which is what keeps process-pool responses
-    bit-identical to in-process ones).
+    bit-identical to in-process ones).  In process mode the arrays never
+    actually cross the pipe — they are staged into the worker's shm arena
+    and only their descriptors travel (see :mod:`repro.serving.transport`).
     """
 
     values: np.ndarray
@@ -128,10 +150,13 @@ class BatchTask:
 
     ``on_done(raws)`` / ``on_error(exc)`` run on the worker *thread* (also in
     process mode — the child only computes), so the dispatcher keeps ticket
-    resolution and its own bookkeeping in-process.  ``execute`` is a test
-    hook: when set, the worker calls ``execute(worker_id)`` instead of the
-    backend path (always in-thread), which lets the scheduling tests drive
-    routing, stealing, overload and crash handling without trained models.
+    resolution and its own bookkeeping in-process.  ``generation`` is the
+    dispatching registry's publish counter; workers pass it to their backend
+    caches so steady-state batches skip the artifact staleness probe.
+    ``execute`` is a test hook: when set, the worker calls
+    ``execute(worker_id)`` instead of the backend path (always in-thread),
+    which lets the scheduling tests drive routing, stealing, overload and
+    crash handling without trained models.
     """
 
     spec: str                       # resolved "name@version" — the shard key
@@ -140,6 +165,7 @@ class BatchTask:
     on_done: object                 # callable(list[RawImputation]) -> None
     on_error: object                # callable(Exception) -> None
     execute: object = None          # callable(worker_id) -> raws  (tests only)
+    generation: int | None = None   # registry publish counter at dispatch
     stolen: bool = field(default=False, init=False)
 
     @property
@@ -147,26 +173,109 @@ class BatchTask:
         return len(self.payloads)
 
 
-class _WorkerProcess:
-    """A worker thread's dedicated child process (``mode="process"``)."""
+@dataclass
+class _WarmupTask:
+    """A queued warm pre-load: rehydrate one artifact on one worker.
 
-    def __init__(self, mp_context, name):
+    Queued on *every* worker by :meth:`WorkerPool.prewarm` right after a
+    registry publish, so the model is resident (thread LRU or child-process
+    cache) before its first request arrives.  Never stolen — each worker
+    must warm its own cache — and invisible to admission control.
+    """
+
+    artifact_path: str
+    generation: int | None = None
+
+    num_requests = 0
+
+    def on_error(self, error):
+        """Discarded by ``stop(drain=False)`` — nothing to resolve."""
+
+
+class _SplitJoin:
+    """Rejoins a split batch and resolves the original hooks exactly once.
+
+    Part results are kept in dispatch order, so the joined ``raws`` list is
+    indistinguishable from the unsplit batch's; the first part error wins
+    (the service's retry path restores every payload's RNG state before
+    re-dispatching, so a partially executed split is safe to retry).
+    """
+
+    def __init__(self, task, num_parts):
+        self.task = task
+        self._results = [None] * num_parts
+        self._error = None
+        self._pending = num_parts
+        self._lock = threading.Lock()
+
+    def hooks(self, index):
+        def on_done(raws):
+            self._resolve(index, raws, None)
+
+        def on_error(error):
+            self._resolve(index, None, error)
+
+        return on_done, on_error
+
+    def _resolve(self, index, raws, error):
+        with self._lock:
+            self._results[index] = raws
+            if error is not None and self._error is None:
+                self._error = error
+            self._pending -= 1
+            if self._pending:
+                return
+            final_error = self._error
+        if final_error is not None:
+            self.task.on_error(final_error)
+        else:
+            self.task.on_done([raw for part in self._results for raw in part])
+
+
+class _WorkerProcess:
+    """A worker thread's dedicated child process plus its shm arena.
+
+    The owning worker thread drives the child strictly serially: stage the
+    batch into the arena, send the descriptors, wait for the completion
+    control message, copy the responses out, release the slots.  Control
+    messages cross as explicit pickled byte blobs (``send_bytes``) so the
+    transport cost is measurable — ``control_bytes_*`` count every byte that
+    actually crosses the pipe.
+    """
+
+    def __init__(self, mp_context, name, *, segment_bytes=DEFAULT_SEGMENT_BYTES,
+                 max_loaded=4):
         import multiprocessing
 
         ctx = multiprocessing.get_context(mp_context)
         self.conn, child_conn = ctx.Pipe()
+        self.arena = ShmArena(segment_bytes=segment_bytes)
+        self.control_bytes_sent = 0
+        self.control_bytes_received = 0
+        self.batches_run = 0
         self.process = ctx.Process(target=_process_worker_main,
-                                   args=(child_conn,), name=name, daemon=True)
+                                   args=(child_conn, max_loaded),
+                                   name=name, daemon=True)
         self.process.start()
         # The parent keeps only its end; the child owns the other.
         child_conn.close()
 
-    def run(self, task):
-        """Execute ``task`` in the child; raises :class:`WorkerCrashed` if it
-        dies mid-batch (EOF/broken pipe) and re-raises child-side errors."""
+    def _send(self, message):
+        blob = pickle.dumps(message)
+        self.control_bytes_sent += len(blob)
+        self.conn.send_bytes(blob)
+
+    def _recv(self):
+        blob = self.conn.recv_bytes()
+        self.control_bytes_received += len(blob)
+        return pickle.loads(blob)
+
+    def _roundtrip(self, message):
+        """Send a control message and wait for the child's reply, converting
+        a dead child (EOF/broken pipe) into :class:`WorkerCrashed`."""
         try:
-            self.conn.send(("batch", task.artifact_path, task.payloads))
-            status, result = self.conn.recv()
+            self._send(message)
+            status, result = self._recv()
         except (EOFError, OSError) as error:
             self.close(kill=True)
             raise WorkerCrashed(
@@ -182,10 +291,41 @@ class _WorkerProcess:
                 f"worker process raised {type(result).__name__}: {result}")
         return result
 
+    def warm(self, artifact_path, generation=None):
+        """Pre-load one artifact in the child; returns the child's load
+        seconds (0.0 when it was already resident)."""
+        return self._roundtrip(("warm", artifact_path, generation))
+
+    def run(self, task):
+        """Execute ``task`` in the child over the shm transport.
+
+        Staging is per-attempt: a retry re-enters here and stages fresh
+        slots, and the ``finally`` releases this attempt's slots exactly
+        once whatever happens (child reply, child death, staging fault) —
+        release after a crash-path ``arena.destroy()`` is a no-op, so
+        nothing double-frees and nothing leaks.
+        """
+        staged = self.arena.stage(task.payloads)
+        try:
+            self._roundtrip(("batch", task.artifact_path, task.generation,
+                             staged.descriptors()))
+            self.batches_run += 1
+            return staged.read_responses()
+        finally:
+            staged.release()
+
+    def transport_totals(self):
+        """Cumulative transport counters (folded into the pool on retire)."""
+        totals = self.arena.stats()
+        totals["control_bytes_sent"] = self.control_bytes_sent
+        totals["control_bytes_received"] = self.control_bytes_received
+        totals["batches_run"] = self.batches_run
+        return totals
+
     def close(self, kill=False):
         try:
             if not kill and self.process.is_alive():
-                self.conn.send(("stop",))
+                self._send(("stop",))
         except (OSError, ValueError):
             pass
         try:
@@ -195,29 +335,71 @@ class _WorkerProcess:
         if kill and self.process.is_alive():
             self.process.terminate()
         self.process.join(timeout=5.0)
+        # The parent owns every segment: tear the arena down with the child
+        # so no shared memory outlives the worker, however it exited.
+        self.arena.destroy()
 
 
-def _process_worker_main(conn):
-    """Child-process loop: rehydrate-on-demand, execute, reply."""
-    while True:
+def _process_worker_main(conn, max_loaded=4):
+    """Child-process loop: attach segments, decode descriptors, execute,
+    write responses in place, reply with a small status message."""
+    from ..inference.backend import _PROCESS_BACKENDS
+    from .transport import SegmentAttachments, decode_batch
+
+    # The pool's per-worker LRU capacity applies to process workers too (one
+    # single-threaded child per worker, so process-global == per-worker).
+    _PROCESS_BACKENDS.max_loaded = max(int(max_loaded),
+                                       _PROCESS_BACKENDS.max_loaded)
+
+    def reply(message):
         try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message[0] != "batch":
-            conn.close()
-            return
-        _, artifact_path, payloads = message
-        try:
-            raws = execute_batch(process_backend(artifact_path), payloads)
-        except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+            conn.send_bytes(pickle.dumps(message))
+        except Exception:
+            status, payload = message
+            conn.send_bytes(pickle.dumps((status, RuntimeError(
+                f"{type(payload).__name__}: {payload} (original not picklable)"))))
+
+    attachments = SegmentAttachments()
+    try:
+        while True:
             try:
-                conn.send(("error", error))
-            except Exception:
-                conn.send(("error", RuntimeError(
-                    f"{type(error).__name__}: {error} (original not picklable)")))
-        else:
-            conn.send(("ok", raws))
+                message = pickle.loads(conn.recv_bytes())
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "batch":
+                _, artifact_path, generation, descriptors = message
+                try:
+                    payloads, response_views = decode_batch(descriptors,
+                                                            attachments)
+                    raws = execute_batch(
+                        process_backend(artifact_path, generation), payloads)
+                    for raw, (median_view, samples_view) in zip(raws,
+                                                                response_views):
+                        median_view[...] = raw.median
+                        samples_view[...] = raw.samples
+                    # Drop every arena view before trimming — a mapped
+                    # segment cannot close while views are exported.
+                    del payloads, response_views, raws
+                except BaseException as error:  # noqa: BLE001 - forwarded
+                    reply(("error", error))
+                else:
+                    reply(("ok", None))
+                attachments.trim()
+            elif kind == "warm":
+                _, artifact_path, generation = message
+                started = time.perf_counter()
+                try:
+                    process_backend(artifact_path, generation)
+                except BaseException as error:  # noqa: BLE001 - forwarded
+                    reply(("error", error))
+                else:
+                    reply(("ok", time.perf_counter() - started))
+            else:
+                conn.close()
+                return
+    finally:
+        attachments.close()
 
 
 class WorkerPool:
@@ -238,14 +420,20 @@ class WorkerPool:
         :mod:`repro.inference.backend`).
     steal:
         Allow idle workers to take batches from backed-up sibling shards.
+    split:
+        Allow an idle pool to split one multi-request batch across idle
+        workers (bit-identical by the batch-composition invariant).
     mp_context:
         ``multiprocessing`` start method for process workers.  ``"spawn"``
         (default) is safe regardless of what the parent's threads are doing;
         ``"fork"`` starts faster but is unsafe in multi-threaded parents.
+    segment_bytes:
+        Size of each worker arena's shm segments (process mode).
     """
 
     def __init__(self, num_workers=2, *, mode="thread", max_queue_depth=256,
-                 max_loaded_per_worker=4, steal=True, mp_context="spawn",
+                 max_loaded_per_worker=4, steal=True, split=True,
+                 mp_context="spawn", segment_bytes=DEFAULT_SEGMENT_BYTES,
                  name="imputation-pool"):
         if num_workers < 1:
             raise ValueError("num_workers must be a positive integer")
@@ -258,7 +446,9 @@ class WorkerPool:
         self.max_queue_depth = int(max_queue_depth)
         self.max_loaded_per_worker = int(max_loaded_per_worker)
         self.steal = bool(steal)
+        self.split = bool(split)
         self.mp_context = mp_context
+        self.segment_bytes = int(segment_bytes)
         self.name = name
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -272,13 +462,32 @@ class WorkerPool:
         self.dispatched_batches = 0
         self.executed_batches = [0] * self.num_workers
         self.stolen_batches = 0
+        self.split_batches = 0
         self.rejected_requests = 0
         self.crashed_batches = 0
         self.max_backlog_observed = 0
+        self.warmed_models = 0
+        self.warm_failures = 0
+        self.warm_seconds = [0.0] * self.num_workers
         # A worker whose child process died and has not been respawned yet
         # (process mode; respawn is lazy, on the worker's next batch).  The
         # gateway's readiness probe reports not-ready while any entry is True.
         self.dead_workers = [False] * self.num_workers
+        # Which artifacts each worker (probably) has resident — fed by warm
+        # pre-fork and successful executions, consulted by batch splitting so
+        # a split never forces a cold model load.  Approximate on purpose: a
+        # stale entry costs one reload, never correctness.
+        self._resident = [set() for _ in range(self.num_workers)]
+        # Live child processes by worker id (process mode) and the transport
+        # counters of already retired ones — together they make
+        # ``transport_stats`` cover the pool's whole lifetime.
+        self._processes = [None] * self.num_workers
+        self._transport_totals = {
+            "segments_created": 0, "segments_unlinked": 0,
+            "batches_staged": 0, "shm_bytes_staged": 0, "rebuilds": 0,
+            "control_bytes_sent": 0, "control_bytes_received": 0,
+            "batches_run": 0,
+        }
 
     # ------------------------------------------------------------------
     # Dispatch surface
@@ -294,6 +503,10 @@ class WorkerPool:
         exceed ``max_queue_depth`` (the task's completion hooks are *not*
         called — admission control happens before the batch is accepted) and
         :class:`PoolStopped` after :meth:`stop`.
+
+        A multi-request batch arriving at an otherwise idle pool is split
+        across the idle workers (and rejoined transparently) so low-
+        concurrency traffic still uses the whole pool.
         """
         if not isinstance(task, BatchTask):
             raise TypeError("dispatch expects a BatchTask")
@@ -312,11 +525,49 @@ class WorkerPool:
                     f"pool queue depth {backlog} + {task.num_requests} exceeds "
                     f"max_queue_depth={self.max_queue_depth}"
                 )
-            self._queues[self.shard_of(task.spec)].append(task)
+            parts = self._split_locked(task, backlog)
+            if parts is None:
+                self._queues[self.shard_of(task.spec)].append(task)
+            else:
+                self.split_batches += 1
+                for wid, part in parts:
+                    self._queues[wid].append(part)
             self.dispatched_batches += 1
             self.max_backlog_observed = max(self.max_backlog_observed,
                                             backlog + task.num_requests)
             self._cond.notify_all()
+
+    def _split_locked(self, task, backlog):
+        """Split ``task`` across idle workers, or ``None`` to route whole.
+
+        Only real multi-request batches split, only when nothing is queued
+        (a backed-up pool already has parallelism) and at least two idle
+        workers already hold the model (splitting must buy parallel model
+        *execution*, never parallel model *loading* — after a warm pre-fork
+        that is every worker).  Requests stay in order; each part is a
+        normal :class:`BatchTask` whose hooks feed a :class:`_SplitJoin`.
+        """
+        if (not self.split or task.execute is not None
+                or task.num_requests < 2 or backlog > 0):
+            return None
+        idle = [wid for wid in range(self.num_workers)
+                if self._in_flight[wid] is None and not self._queues[wid]
+                and task.artifact_path in self._resident[wid]]
+        if len(idle) < 2:
+            return None
+        num_parts = min(len(idle), task.num_requests)
+        bounds = np.linspace(0, task.num_requests, num_parts + 1).astype(int)
+        join = _SplitJoin(task, num_parts)
+        parts = []
+        for index in range(num_parts):
+            on_done, on_error = join.hooks(index)
+            parts.append((idle[index], BatchTask(
+                spec=task.spec, artifact_path=task.artifact_path,
+                payloads=task.payloads[bounds[index]:bounds[index + 1]],
+                on_done=on_done, on_error=on_error,
+                generation=task.generation,
+            )))
+        return parts
 
     def backlog(self):
         """Queued (not yet executing) requests across all shards."""
@@ -341,6 +592,7 @@ class WorkerPool:
                 "dispatched_batches": self.dispatched_batches,
                 "executed_batches": list(self.executed_batches),
                 "stolen_batches": self.stolen_batches,
+                "split_batches": self.split_batches,
                 "rejected_requests": self.rejected_requests,
                 "crashed_batches": self.crashed_batches,
                 "dead_workers": sum(self.dead_workers),
@@ -349,7 +601,62 @@ class WorkerPool:
                 "queued_batches": [len(queue) for queue in self._queues],
                 "in_flight_batches": sum(
                     1 for task in self._in_flight if task is not None),
+                "warmed_models": self.warmed_models,
+                "warm_failures": self.warm_failures,
+                "warm_seconds": list(self.warm_seconds),
+                "transport": self._transport_stats_locked(),
             }
+
+    def transport_stats(self):
+        """Lifetime shm-transport counters (live workers + retired ones).
+
+        ``segments_active == 0`` and ``segments_created == segments_unlinked``
+        after :meth:`stop` is the zero-leak invariant the transport tests and
+        the chaos benchmark gate on.
+        """
+        with self._lock:
+            return self._transport_stats_locked()
+
+    def _transport_stats_locked(self):
+        totals = dict(self._transport_totals)
+        totals["segments_active"] = 0
+        totals["live_slots"] = 0
+        for process in self._processes:
+            if process is None:
+                continue
+            for key, value in process.transport_totals().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Warm pre-fork
+    # ------------------------------------------------------------------
+    def prewarm(self, artifact_path, generation=None):
+        """Queue a warm-load of ``artifact_path`` on every worker.
+
+        Starts the pool if needed (publish-then-serve spawns the workers at
+        publish time, not first-request time); a stopped pool ignores the
+        call.  Returns the number of workers the warm-up was queued on; use
+        :meth:`wait_idle` to block until the loads finish.
+        """
+        with self._cond:
+            if self._stopping:
+                return 0
+            self._start_locked()
+            for wid in range(self.num_workers):
+                self._queues[wid].append(
+                    _WarmupTask(artifact_path, generation))
+            self._cond.notify_all()
+        return self.num_workers
+
+    def watch(self, registry):
+        """Subscribe this pool to ``registry`` publishes: every published
+        model is pre-loaded on every worker immediately (warm pre-fork), so
+        its first request never pays the rehydration cost.  Returns self."""
+        registry.subscribe(
+            lambda resolved, generation: self.prewarm(resolved.path,
+                                                      generation))
+        return self
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -370,6 +677,8 @@ class WorkerPool:
             return
         self._started = True
         self._drain = True
+        # Fresh worker threads mean fresh backend caches: forget residency.
+        self._resident = [set() for _ in range(self.num_workers)]
         self._threads = [
             threading.Thread(target=self._worker_loop, args=(wid,),
                              name=f"{self.name}-{wid}", daemon=True)
@@ -384,6 +693,8 @@ class WorkerPool:
         ``drain=True`` completes every queued batch first; ``drain=False``
         fails queued batches with :class:`PoolStopped` (in-flight batches
         still finish — a worker is never interrupted mid-model-call).
+        Either way every worker's child process and shm arena are torn down
+        before this returns.
         """
         discarded = []
         with self._cond:
@@ -421,15 +732,91 @@ class WorkerPool:
 
     def _take_locked(self, wid):
         """Next task for worker ``wid``: its own queue first, else steal the
-        newest batch from the longest sibling queue."""
+        newest *batch* from the longest sibling queue (warm-up tasks are
+        never stolen — each worker warms its own cache)."""
         if self._queues[wid]:
             return self._queues[wid].popleft(), False
         if self.steal:
-            longest = max(range(self.num_workers),
-                          key=lambda other: len(self._queues[other]))
-            if self._queues[longest]:
+            stealable = [other for other in range(self.num_workers)
+                         if self._queues[other]
+                         and isinstance(self._queues[other][-1], BatchTask)]
+            if stealable:
+                longest = max(stealable,
+                              key=lambda other: len(self._queues[other]))
                 return self._queues[longest].pop(), True
         return None, False
+
+    def _ensure_process(self, wid, process):
+        """The worker's live child process, spawning one if needed."""
+        if process is None:
+            process = _WorkerProcess(
+                self.mp_context, f"{self.name}-proc-{wid}",
+                segment_bytes=self.segment_bytes,
+                max_loaded=self.max_loaded_per_worker)
+            with self._lock:
+                self.dead_workers[wid] = False
+                self._processes[wid] = process
+        return process
+
+    def _retire_process(self, wid, process, *, crashed=False):
+        """Fold a child's transport counters into the pool totals and drop
+        it.  A crashed child is already closed (its arena destroyed) by
+        :meth:`_WorkerProcess.run`; a clean retirement closes it here."""
+        if process is None:
+            return
+        if not crashed:
+            process.close()
+        totals = process.transport_totals()
+        with self._lock:
+            for key, value in totals.items():
+                if key in self._transport_totals:
+                    self._transport_totals[key] += value
+            self._processes[wid] = None
+            self._resident[wid].clear()
+            if crashed:
+                self.dead_workers[wid] = True
+
+    def _warm_locked(self, wid, seconds, *, failed=False):
+        if failed:
+            self.warm_failures += 1
+        else:
+            self.warmed_models += 1
+            self.warm_seconds[wid] += seconds
+
+    def _note_resident_locked(self, wid, artifact_path):
+        """Record that ``wid``'s cache holds ``artifact_path`` (lock held).
+
+        Bounded to the per-worker cache capacity; eviction here is arbitrary
+        because the set is an approximation of the child's LRU, not a
+        mirror of it."""
+        resident = self._resident[wid]
+        resident.add(artifact_path)
+        while len(resident) > self.max_loaded_per_worker:
+            resident.pop()
+
+    def _run_warmup(self, wid, task, handle, process):
+        """Execute a :class:`_WarmupTask`; returns the (possibly respawned,
+        possibly retired) child process handle."""
+        started = time.perf_counter()
+        try:
+            if self.mode == "process":
+                process = self._ensure_process(wid, process)
+                process.warm(task.artifact_path, task.generation)
+            else:
+                handle.get(task.artifact_path, generation=task.generation)
+        except WorkerCrashed:
+            self._retire_process(wid, process, crashed=True)
+            process = None
+            with self._lock:
+                self._warm_locked(wid, 0.0, failed=True)
+        except Exception:
+            with self._lock:
+                self._warm_locked(wid, 0.0, failed=True)
+        else:
+            with self._lock:
+                self._warm_locked(wid, time.perf_counter() - started)
+                self._note_resident_locked(wid, task.artifact_path)
+        return process
 
     def _worker_loop(self, wid):
         handle = BackendCache(self.max_loaded_per_worker)
@@ -448,10 +835,19 @@ class WorkerPool:
                             if drained:
                                 return
                         self._cond.wait(timeout=0.1)
-                    task.stolen = stolen
                     self._in_flight[wid] = task
-                    if stolen:
-                        self.stolen_batches += 1
+                    if isinstance(task, BatchTask):
+                        task.stolen = stolen
+                        if stolen:
+                            self.stolen_batches += 1
+                if isinstance(task, _WarmupTask):
+                    try:
+                        process = self._run_warmup(wid, task, handle, process)
+                    finally:
+                        with self._cond:
+                            self._in_flight[wid] = None
+                            self._cond.notify_all()
+                    continue
                 try:
                     # Injection points: a "stall" rule simulates a slow
                     # worker; a "crash" rule takes the exact WorkerCrashed
@@ -463,21 +859,22 @@ class WorkerPool:
                     if task.execute is not None:
                         raws = task.execute(wid)
                     elif self.mode == "process":
-                        if process is None:
-                            process = _WorkerProcess(
-                                self.mp_context, f"{self.name}-proc-{wid}")
-                            with self._lock:
-                                self.dead_workers[wid] = False
+                        process = self._ensure_process(wid, process)
                         try:
                             raws = process.run(task)
                         except WorkerCrashed:
-                            process = None     # respawn lazily on the next batch
-                            with self._lock:
-                                self.dead_workers[wid] = True
+                            # The child died mid-batch: its arena is already
+                            # destroyed (so the staged slots cannot leak);
+                            # fold its counters and respawn lazily on the
+                            # next batch.
+                            self._retire_process(wid, process, crashed=True)
+                            process = None
                             raise
                     else:
-                        raws = execute_batch(handle.get(task.artifact_path),
-                                             task.payloads)
+                        raws = execute_batch(
+                            handle.get(task.artifact_path,
+                                       generation=task.generation),
+                            task.payloads)
                 except BaseException as error:
                     # Resolve the batch's tickets whatever escaped — a ticket
                     # left pending blocks its client forever.  Exceptions are
@@ -491,6 +888,9 @@ class WorkerPool:
                     if not isinstance(error, Exception):
                         raise
                 else:
+                    if task.execute is None:
+                        with self._lock:
+                            self._note_resident_locked(wid, task.artifact_path)
                     task.on_done(raws)
                 finally:
                     with self._cond:
@@ -498,5 +898,4 @@ class WorkerPool:
                         self.executed_batches[wid] += 1
                         self._cond.notify_all()
         finally:
-            if process is not None:
-                process.close()
+            self._retire_process(wid, process)

@@ -85,9 +85,34 @@ class ModelRegistry:
         self.max_loaded = int(max_loaded)
         self._lock = threading.RLock()
         self._loaded = OrderedDict()      # (name, version) -> model
+        self._generation = 0
+        self._subscribers = []
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @property
+    def generation(self):
+        """Monotonic publish counter.
+
+        Bumped once per :meth:`publish`; downstream caches
+        (:class:`repro.inference.backend.BackendCache`) key their staleness
+        checks on it, so steady-state traffic between publishes never stats
+        the artifact tree.
+        """
+        with self._lock:
+            return self._generation
+
+    def subscribe(self, callback):
+        """Register ``callback(resolved, generation)`` to run after every
+        :meth:`publish` (outside the registry lock, on the publishing
+        thread).  This is the warm pre-fork hook:
+        :meth:`repro.serving.WorkerPool.watch` subscribes the pool so workers
+        pre-load a model the moment it is published, instead of rehydrating
+        it on the first request.  Returns ``callback`` for symmetry."""
+        with self._lock:
+            self._subscribers.append(callback)
+        return callback
 
     # ------------------------------------------------------------------
     # Publishing
@@ -111,10 +136,17 @@ class ModelRegistry:
         path = os.path.join(self.root, name, version)
         save_model(model, path)
         # The artifact on disk is the source of truth; drop any stale
-        # resident copy of this exact version.
+        # resident copy of this exact version and bump the publish
+        # generation so path-keyed worker caches revalidate.
         with self._lock:
             self._loaded.pop((name, version), None)
-        return ResolvedModel(name=name, version=version, path=path)
+            self._generation += 1
+            generation = self._generation
+            subscribers = list(self._subscribers)
+        resolved = ResolvedModel(name=name, version=version, path=path)
+        for callback in subscribers:
+            callback(resolved, generation)
+        return resolved
 
     # ------------------------------------------------------------------
     # Resolution

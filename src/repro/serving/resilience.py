@@ -106,9 +106,12 @@ class RetryPolicy:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.retry_on is None:
-            from .errors import WorkerCrashed
+            from .errors import TransportError, WorkerCrashed
 
-            self.retry_on = (WorkerCrashed, OSError)
+            # TransportError is retryable by design: each attempt stages the
+            # batch into fresh arena slots (release is idempotent, so the
+            # failed attempt's slots are reclaimed, never double-freed).
+            self.retry_on = (WorkerCrashed, TransportError, OSError)
         self.retry_on = tuple(self.retry_on)
 
     def should_retry(self, error, attempts_made):

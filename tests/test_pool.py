@@ -479,8 +479,23 @@ class TestSharedCaches:
         assert cache.get(first.path) is a
         cache.get(second.path)
         assert cache.stats() == {"hits": 1, "misses": 2, "evictions": 1,
-                                 "resident": 1}
+                                 "resident": 1, "stat_probes": 1,
+                                 "stale_reloads": 0}
         assert cache.get(first.path) is not a    # reloaded after eviction
+
+    def test_backend_cache_generation_skips_stat_probe(self, registry):
+        cache = BackendCache(max_loaded=2)
+        resolved = registry.resolve("traffic")
+        a = cache.get(resolved.path, generation=3)
+        assert cache.get(resolved.path, generation=3) is a
+        assert cache.stats()["stat_probes"] == 0   # generation match: no stat
+        # A generation bump probes the artifact once, sees unchanged bytes,
+        # and revalidates the resident entry instead of reloading.
+        assert cache.get(resolved.path, generation=4) is a
+        stats = cache.stats()
+        assert stats["stat_probes"] == 1 and stats["stale_reloads"] == 0
+        assert cache.get(resolved.path, generation=4) is a
+        assert cache.stats()["stat_probes"] == 1
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -17,7 +17,18 @@ speedup can be tracked across commits.  Since PR 2 the payload also carries a
 ``float32`` section — the same serial/batched pair run under
 ``PriSTIConfig(dtype="float32")`` — so both dtypes are tracked going forward
 (float32 serial/batched agreement is bounded by accumulated rounding rather
-than the float64 path's 1e-10).  Run directly
+than the float64 path's 1e-10).
+
+Since PR 9 the payload additionally carries a ``compiled`` section: the
+trace-and-replay JIT (:mod:`repro.inference.compiled`) against the eager
+batched path, one cell per (dtype, sampler), each with per-window latency
+percentiles and a bit-identity flag.  The legacy ``serial``/``batched``
+fields keep their original meaning (both sides eager) so the organisational
+speedup stays comparable across commits; the JIT win is reported separately.
+The compiled floor is 1.5x for DDPM cells; DDIM-8 cells carry a 1.2x floor
+because the planner's cross-step CSE (the prior-derived attention maps are
+computed once per chunk instead of once per step) amortises over 8 steps
+instead of 20.  Run directly
 (``PYTHONPATH=src python benchmarks/bench_batched_inference.py``) or through
 pytest (``pytest benchmarks/bench_batched_inference.py``).
 """
@@ -31,12 +42,16 @@ import numpy as np
 from repro import PriSTI, PriSTIConfig
 from repro.data import metr_la_like
 from repro.experiments import get_profile
+from repro.inference import InferenceEngine
 
 NUM_SAMPLES = 8
 MIN_SPEEDUP = 2.0          # re-baselined in PR 2, see module docstring
+MIN_COMPILED_SPEEDUP = 1.5       # compiled vs eager, DDPM (20-step) cells
+MIN_COMPILED_SPEEDUP_DDIM = 1.2  # DDIM-8 cells: CSE amortises over 8 steps
 FLOAT32_MAX_DIFF = 1e-3
 WINDOW_LENGTH = 16
 NUM_DIFFUSION_STEPS = 20
+DDIM_STEPS = 8
 
 
 def _smoke_mode():
@@ -46,13 +61,14 @@ def _smoke_mode():
     return get_profile().name == "smoke"
 
 
-def _build_model(dtype="float64"):
+def _build_model(dtype="float64", *, compile_inference=False, ddim_steps=None):
     dataset = metr_la_like(num_nodes=8, num_days=4, steps_per_day=24,
                            missing_pattern="block", seed=3)
     config = PriSTIConfig.fast(
         window_length=WINDOW_LENGTH, epochs=1, iterations_per_epoch=1,
         num_diffusion_steps=NUM_DIFFUSION_STEPS, num_samples=NUM_SAMPLES,
         inference_batch_size=2 * NUM_SAMPLES, dtype=dtype,
+        compile_inference=compile_inference, ddim_steps=ddim_steps,
     )
     model = PriSTI(config)
     model.fit(dataset)
@@ -90,6 +106,63 @@ def _measure(dtype):
     return section, model.config, serial_result, batched_result
 
 
+def _latency_repeats():
+    return 3 if _smoke_mode() else 12
+
+
+def _window_count(dataset):
+    test_length = dataset.segment("test")[0].shape[0]
+    return len(InferenceEngine.window_starts(
+        test_length, WINDOW_LENGTH, WINDOW_LENGTH))
+
+
+def _percentiles_ms(pass_seconds, windows):
+    per_window = np.asarray(pass_seconds) / windows * 1e3
+    return {f"p{q}": round(float(np.percentile(per_window, q)), 3)
+            for q in (50, 95, 99)}
+
+
+def _measure_compiled(dtype, ddim_steps):
+    """One eager-vs-compiled cell: timings, per-window latency, identity.
+
+    Both models train identically (same config seed; the compile flag only
+    affects inference), and every timed pass reseeds the sampling RNG, so
+    the two paths draw the same noise stream and must agree bit-for-bit.
+    """
+    eager_model, dataset = _build_model(
+        dtype=dtype, compile_inference=False, ddim_steps=ddim_steps)
+    compiled_model, _ = _build_model(
+        dtype=dtype, compile_inference=True, ddim_steps=ddim_steps)
+    windows = _window_count(dataset)
+
+    _timed_impute(eager_model, dataset, batched=True)       # warm-up
+    _timed_impute(compiled_model, dataset, batched=True)    # trace + compile
+    eager_times, compiled_times = [], []
+    eager_result = compiled_result = None
+    for _ in range(_latency_repeats()):
+        seconds, eager_result = _timed_impute(eager_model, dataset,
+                                              batched=True)
+        eager_times.append(seconds)
+        seconds, compiled_result = _timed_impute(compiled_model, dataset,
+                                                 batched=True)
+        compiled_times.append(seconds)
+
+    eager_best, compiled_best = min(eager_times), min(compiled_times)
+    cache_stats = compiled_model.compiled_step_cache().stats()
+    return {
+        "eager_seconds": round(eager_best, 4),
+        "compiled_seconds": round(compiled_best, 4),
+        "speedup_vs_eager": round(eager_best / compiled_best, 2),
+        "bit_identical": bool(np.array_equal(
+            eager_result.samples, compiled_result.samples, equal_nan=True)),
+        "windows": windows,
+        "eager_latency_ms": _percentiles_ms(eager_times, windows),
+        "compiled_latency_ms": _percentiles_ms(compiled_times, windows),
+        "trace_cache": {key: cache_stats[key] for key in
+                        ("hits", "misses", "fallbacks", "compiled_entries")},
+    }
+
+
 def run_benchmark():
     """Measure both paths in both dtypes; returns (payload, serial, batched)."""
     section, config, serial_result, batched_result = _measure("float64")
@@ -101,7 +174,36 @@ def run_benchmark():
         **section,
     }
     payload["float32"] = _measure("float32")[0]
+    payload["compiled"] = {
+        "ddim_steps": DDIM_STEPS,
+        "latency_repeats": _latency_repeats(),
+    }
+    for dtype in ("float64", "float32"):
+        payload["compiled"][dtype] = {
+            "ddpm": _measure_compiled(dtype, None),
+            "ddim": _measure_compiled(dtype, DDIM_STEPS),
+        }
     return payload, serial_result, batched_result
+
+
+def _compiled_violations(payload, enforce_floors):
+    """Violation strings for the compiled section (identity always checked;
+    speedup floors only when ``enforce_floors``)."""
+    problems = []
+    for dtype in ("float64", "float32"):
+        for sampler, floor in (("ddpm", MIN_COMPILED_SPEEDUP),
+                               ("ddim", MIN_COMPILED_SPEEDUP_DDIM)):
+            cell = payload["compiled"][dtype][sampler]
+            label = f"compiled.{dtype}.{sampler}"
+            if not cell["bit_identical"]:
+                problems.append(f"{label} diverged from the eager path")
+            if cell["trace_cache"]["fallbacks"]:
+                problems.append(f"{label} hit the eager fallback "
+                                f"({cell['trace_cache']['fallbacks']}x)")
+            if enforce_floors and cell["speedup_vs_eager"] < floor:
+                problems.append(f"{label} speedup {cell['speedup_vs_eager']}x "
+                                f"below the {floor}x floor")
+    return problems
 
 
 def test_bench_batched_inference(save_json):
@@ -116,6 +218,10 @@ def test_bench_batched_inference(save_json):
     # float32 runs the same draws at lower precision: agreement is bounded by
     # rounding accumulated over the reverse process, not by the algorithm.
     assert payload["float32"]["max_abs_difference"] <= FLOAT32_MAX_DIFF
+    # Compiled replay: identity and fallback-free compilation always hold;
+    # speedup floors are wall-clock and follow the smoke switch.
+    problems = _compiled_violations(payload, enforce_floors=not _smoke_mode())
+    assert not problems, "; ".join(problems)
 
 
 if __name__ == "__main__":
@@ -133,3 +239,6 @@ if __name__ == "__main__":
         raise SystemExit(
             f"speedup {payload['speedup']}x below the {MIN_SPEEDUP}x floor"
         )
+    problems = _compiled_violations(payload, enforce_floors=not _smoke_mode())
+    if problems:
+        raise SystemExit("; ".join(problems))

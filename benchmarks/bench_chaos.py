@@ -80,6 +80,13 @@ FAULT_PLAN = {
          "action": "sleep", "seconds": 0.02},
         {"point": "service.queue_stall", "probability": 0.1,
          "action": "sleep", "seconds": 0.01},
+        # Trace-and-replay compilation failures: a fired fault negative-caches
+        # the chunk signature and the eager mirror serves it — the gate's
+        # every-ticket-resolves invariant proves fallback never strands work.
+        # Explicit hits (the point is only consulted on trace-cache misses,
+        # so a probability rule could sit out an entire run): the first two
+        # compile attempts of the run fail deterministically.
+        {"point": "compile.trace", "hits": [1, 2]},
     ],
 }
 
@@ -100,6 +107,9 @@ CHILD_FAULT_PLAN = {
     "rules": [
         {"point": "backend.load", "probability": 0.2},
         {"point": "transport.shm_attach", "probability": 0.15},
+        # In process mode inference runs inside the children, so the
+        # compile-fault rule must ride the child plan to be exercised.
+        {"point": "compile.trace", "hits": [1, 2]},
     ],
 }
 

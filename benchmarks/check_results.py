@@ -51,10 +51,40 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BASELINES = {
     "batched_inference.json": {
         "required": ["serial_seconds", "batched_seconds", "speedup",
-                     "max_abs_difference", "num_samples", "float32"],
+                     "max_abs_difference", "num_samples", "float32",
+                     "compiled.ddim_steps",
+                     "compiled.float64.ddpm.eager_seconds",
+                     "compiled.float64.ddpm.compiled_seconds",
+                     "compiled.float64.ddpm.eager_latency_ms.p50",
+                     "compiled.float64.ddpm.eager_latency_ms.p95",
+                     "compiled.float64.ddpm.eager_latency_ms.p99",
+                     "compiled.float64.ddpm.compiled_latency_ms.p50",
+                     "compiled.float64.ddpm.compiled_latency_ms.p95",
+                     "compiled.float64.ddpm.compiled_latency_ms.p99",
+                     "compiled.float64.ddim.compiled_latency_ms.p99",
+                     "compiled.float32.ddpm.compiled_latency_ms.p99",
+                     "compiled.float32.ddim.compiled_latency_ms.p99"],
+        # Compiled replay must be a bit-exact re-expression of the eager
+        # sampler, and compilation must succeed (no eager fallbacks) on
+        # these compile-capable shapes — both hold on any hardware.
+        "flags": ["compiled.float64.ddpm.bit_identical",
+                  "compiled.float64.ddim.bit_identical",
+                  "compiled.float32.ddpm.bit_identical",
+                  "compiled.float32.ddim.bit_identical"],
         "max": {"max_abs_difference": 1e-10,
-                "float32.max_abs_difference": 1e-3},
-        "min": {"speedup": 2.0, "float32.speedup": 2.0},
+                "float32.max_abs_difference": 1e-3,
+                "compiled.float64.ddpm.trace_cache.fallbacks": 0,
+                "compiled.float64.ddim.trace_cache.fallbacks": 0,
+                "compiled.float32.ddpm.trace_cache.fallbacks": 0,
+                "compiled.float32.ddim.trace_cache.fallbacks": 0},
+        # DDIM-8 floors are lower than DDPM: the planner's cross-step CSE
+        # (prior-derived attention maps computed once per chunk) amortises
+        # over 8 steps instead of 20.
+        "min": {"speedup": 2.0, "float32.speedup": 2.0,
+                "compiled.float64.ddpm.speedup_vs_eager": 1.5,
+                "compiled.float32.ddpm.speedup_vs_eager": 1.5,
+                "compiled.float64.ddim.speedup_vs_eager": 1.2,
+                "compiled.float32.ddim.speedup_vs_eager": 1.2},
     },
     "training_throughput.json": {
         "required": ["seed_float64_seconds", "fused_float32_seconds",

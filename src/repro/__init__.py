@@ -45,7 +45,7 @@ from .serving import (
     WorkerPool,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PriSTI",

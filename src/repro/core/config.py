@@ -84,6 +84,22 @@ class PriSTIConfig:
     # Inference
     num_samples: int = 100
     ddim_steps: int | None = None
+    #: DDIM stochasticity parameter ``eta``; 0 (the default) keeps the
+    #: deterministic trajectories of the paper's fast sampler, values > 0
+    #: re-inject per-step noise.  Only meaningful when ``ddim_steps`` is set.
+    ddim_eta: float = 0.0
+    #: Compile the reverse-diffusion chunk loop with trace-and-replay (see
+    #: :mod:`repro.inference.compiled`): the first chunk of each signature is
+    #: recorded into a flat kernel schedule, later chunks replay it with zero
+    #: graph construction.  Results are bit-identical (uncompilable
+    #: signatures fall back to the eager loop automatically); set ``False``
+    #: — or export ``REPRO_COMPILE=0`` — to force the eager path everywhere.
+    compile_inference: bool = True
+    #: Maximum number of compiled chunk programs kept per model (LRU).  Each
+    #: entry holds a buffer arena sized like one chunk's intermediates, so
+    #: serving mixes of many shapes may want a larger cache, memory-tight
+    #: deployments a smaller one.
+    compiled_cache_size: int = 8
     #: Maximum number of ``(window, sample)`` items packed into one network
     #: call by the batched inference engine.  ``None`` batches one window's
     #: ``num_samples`` per call; larger values let chunks span window
@@ -114,6 +130,10 @@ class PriSTIConfig:
             raise ValueError("parameterization must be 'epsilon' or 'x0_residual'")
         if self.inference_batch_size is not None and self.inference_batch_size < 1:
             raise ValueError("inference_batch_size must be a positive integer (or None)")
+        if self.ddim_eta < 0:
+            raise ValueError("ddim_eta must be non-negative")
+        if self.compiled_cache_size < 1:
+            raise ValueError("compiled_cache_size must be a positive integer")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
 

@@ -24,6 +24,7 @@ from ..data.scalers import StandardScaler
 from ..data.windows import WindowSampler
 from ..diffusion import GaussianDiffusion, make_schedule
 from ..inference import DiffusionBackend, InferenceEngine
+from ..inference.compiled import CompiledStepCache, compile_enabled
 from ..metrics import imputation_metrics
 from ..io.artifacts import PersistableModel
 from ..nn import Adam, MilestoneLR
@@ -81,6 +82,10 @@ class ConditionalDiffusionImputer(PersistableModel):
         self.trainer = None
         self.training_seconds = 0.0
         self.inference_seconds = 0.0
+        # Model-owned compiled-chunk cache: engines and backends are cheap
+        # throwaway objects (serving builds a fresh one per batch), so the
+        # traced programs must live with the weights they were traced from.
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -309,7 +314,24 @@ class ConditionalDiffusionImputer(PersistableModel):
             parameterization=self.config.parameterization,
             inference_batch_size=self.config.inference_batch_size,
             ddim_steps=self.config.ddim_steps,
+            ddim_eta=self.config.ddim_eta,
+            compiled_cache=self.compiled_step_cache(),
         )
+
+    def compiled_step_cache(self):
+        """This model's :class:`~repro.inference.compiled.CompiledStepCache`.
+
+        Lazily created (and shared by every engine the model hands out) when
+        ``config.compile_inference`` is on and the ``REPRO_COMPILE`` kill
+        switch is not set; ``None`` otherwise, which keeps every chunk on
+        the eager path.
+        """
+        if not self.config.compile_inference or not compile_enabled():
+            return None
+        if self._compiled_cache is None:
+            self._compiled_cache = CompiledStepCache(
+                capacity=self.config.compiled_cache_size)
+        return self._compiled_cache
 
     def _predict_raw(self, noisy_target, condition, steps, conditional_mask, cache=None):
         """Gradient-free network forward used by the inference engine.

@@ -39,6 +39,34 @@ class GaussianDiffusion:
         self.schedule = schedule
         self.rng = rng or np.random.default_rng(0)
         self.dtype = np.dtype(dtype)
+        # Lazily built per-step scalar coefficient table (the schedule is
+        # immutable, so the values are fixed for the instance's lifetime).
+        self._ancestral_coeffs = None
+
+    def _ancestral_coefficients(self):
+        """Per-step ``(eps_coef, sqrt_alpha, sigma)`` scalars, hoisted.
+
+        These used to be recomputed inside every reverse step of every
+        chunk.  Each entry is produced by the *exact* float expression the
+        step functions used inline, so hoisting changes no bits — it only
+        removes per-step Python/numpy scalar work and gives the trace
+        compiler a ready-made per-step constant table to bake.
+        """
+        if self._ancestral_coeffs is None:
+            schedule = self.schedule
+            eps_coef = []
+            sqrt_alpha = []
+            sigma = []
+            for step in range(self.num_steps):
+                beta = float(schedule.betas[step])
+                sqrt_1mab = float(schedule.sqrt_one_minus_alpha_bar(step))
+                eps_coef.append(beta / sqrt_1mab)
+                sqrt_alpha.append(float(np.sqrt(float(schedule.alphas[step]))))
+                sigma.append(0.0 if step == 0 else
+                             float(np.sqrt(schedule.posterior_variance(step))))
+            self._ancestral_coeffs = (tuple(eps_coef), tuple(sqrt_alpha),
+                                      tuple(sigma))
+        return self._ancestral_coeffs
 
     @property
     def num_steps(self):
@@ -93,10 +121,10 @@ class GaussianDiffusion:
 
     def p_mean(self, x_t, predicted_noise, step):
         """Posterior mean ``mu_theta`` of Eq. (3)."""
-        alpha = float(self.schedule.alphas[step])
-        beta = float(self.schedule.betas[step])
-        sqrt_1mab = float(self.schedule.sqrt_one_minus_alpha_bar(step))
-        return (x_t - beta / sqrt_1mab * predicted_noise) / float(np.sqrt(alpha))
+        # Scalars come from the hoisted per-step table; the expression is the
+        # historical ``(x_t - beta / sqrt_1mab * pred) / sqrt(alpha)``.
+        eps_coef, sqrt_alpha, _ = self._ancestral_coefficients()
+        return (x_t - eps_coef[step] * predicted_noise) / sqrt_alpha[step]
 
     def p_sample_step(self, x_t, predicted_noise, step, noise=None):
         """One ancestral sampling step ``x_t -> x_{t-1}``."""
@@ -105,7 +133,7 @@ class GaussianDiffusion:
             return mean
         if noise is None:
             noise = self._standard_normal(x_t.shape)
-        sigma = float(np.sqrt(self.schedule.posterior_variance(step)))
+        sigma = self._ancestral_coefficients()[2][step]
         return mean + sigma * noise
 
     def _prepare_noise(self, num_samples, shape, draws_per_sample, initial_noise,
@@ -141,8 +169,12 @@ class GaussianDiffusion:
                 start[sample_index] = self._standard_normal(shape, rng=rng)
             else:
                 start[sample_index] = np.asarray(initial_noise[sample_index], dtype=self.dtype)
-            for draw in range(draws_per_sample):
-                step_noise[sample_index, draw] = self._standard_normal(shape, rng=rng)
+            if draws_per_sample:
+                # One generator call for the sample's whole step-noise block:
+                # standard_normal fills C-order, so the float64 stream is
+                # consumed exactly as the historical per-draw loop did.
+                step_noise[sample_index] = self._standard_normal(
+                    (draws_per_sample,) + shape, rng=rng)
         return start, step_noise
 
     def sample(self, shape, noise_fn, num_samples=1, initial_noise=None, batched=True,
@@ -184,14 +216,14 @@ class GaussianDiffusion:
         x_t, step_noise = self._prepare_noise(
             num_samples, shape, max(self.num_steps - 1, 0), initial_noise, rngs=rngs
         )
+        sigmas = self._ancestral_coefficients()[2]
         for position, step in enumerate(range(self.num_steps - 1, -1, -1)):
             predicted = np.asarray(noise_fn(x_t, step))
             mean = self.p_mean(x_t, predicted, step)
             if step == 0:
                 x_t = mean
             else:
-                sigma = float(np.sqrt(self.schedule.posterior_variance(step)))
-                x_t = mean + sigma * step_noise[:, position]
+                x_t = mean + sigmas[step] * step_noise[:, position]
         return x_t
 
     def _sample_serial(self, shape, noise_fn, num_samples, initial_noise):
@@ -236,13 +268,41 @@ class GaussianDiffusion:
             sigma = 0.0
         return alpha_bar, alpha_bar_prev, sigma
 
+    def _ddim_terms(self, step, prev_step, eta):
+        """Scalar coefficients of one DDIM update, hoisted out of the loop.
+
+        Returns ``(noise_coef, x0_denom, direction_coef, x0_coef, sigma)``,
+        each produced by the exact float expression the update used inline.
+        """
+        alpha_bar, alpha_bar_prev, sigma = self._ddim_coefficients(step, prev_step, eta)
+        return (float(np.sqrt(1 - alpha_bar)),
+                max(float(np.sqrt(alpha_bar)), 1e-12),
+                float(np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0))),
+                float(np.sqrt(alpha_bar_prev)),
+                sigma)
+
+    def _ddim_step_plan(self, step_sequence, eta):
+        """Precomputed :meth:`_ddim_terms` for a whole step sequence."""
+        last = len(step_sequence) - 1
+        return [
+            self._ddim_terms(step,
+                             step_sequence[position + 1] if position < last else -1,
+                             eta)
+            for position, step in enumerate(step_sequence)
+        ]
+
+    @staticmethod
+    def _ddim_apply(x_t, predicted, terms):
+        """Apply one DDIM update from precomputed scalar ``terms``."""
+        noise_coef, x0_denom, direction_coef, x0_coef, sigma = terms
+        x0_estimate = (x_t - noise_coef * predicted) / x0_denom
+        direction = direction_coef * predicted
+        return x0_coef * x0_estimate + direction, sigma
+
     def _ddim_update(self, x_t, predicted, step, prev_step, eta):
         """Deterministic part of one DDIM step; returns ``(x_prev, sigma)``."""
-        alpha_bar, alpha_bar_prev, sigma = self._ddim_coefficients(step, prev_step, eta)
-        x0_estimate = (x_t - float(np.sqrt(1 - alpha_bar)) * predicted) \
-            / max(float(np.sqrt(alpha_bar)), 1e-12)
-        direction = float(np.sqrt(max(1 - alpha_bar_prev - sigma ** 2, 0.0))) * predicted
-        return float(np.sqrt(alpha_bar_prev)) * x0_estimate + direction, sigma
+        return self._ddim_apply(x_t, predicted,
+                                self._ddim_terms(step, prev_step, eta))
 
     def sample_ddim(self, shape, noise_fn, num_samples=1, num_inference_steps=None,
                     eta=0.0, initial_noise=None, batched=True, rngs=None):
@@ -266,16 +326,17 @@ class GaussianDiffusion:
         draws_per_sample = len(step_sequence) - 1 if eta > 0 else 0
         x_t, step_noise = self._prepare_noise(num_samples, shape, draws_per_sample,
                                               initial_noise, rngs=rngs)
+        plan = self._ddim_step_plan(step_sequence, eta)
         for position, step in enumerate(step_sequence):
             predicted = np.asarray(noise_fn(x_t, step))
-            prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
-            x_t, sigma = self._ddim_update(x_t, predicted, step, prev_step, eta)
+            x_t, sigma = self._ddim_apply(x_t, predicted, plan[position])
             if sigma > 0:
                 x_t = x_t + sigma * step_noise[:, position]
         return x_t
 
     def _sample_ddim_serial(self, shape, noise_fn, num_samples, step_sequence, eta, initial_noise):
         """One-sample-at-a-time DDIM sampling (reference path)."""
+        plan = self._ddim_step_plan(step_sequence, eta)
         samples = []
         for sample_index in range(num_samples):
             if initial_noise is not None:
@@ -284,8 +345,7 @@ class GaussianDiffusion:
                 x_t = self._standard_normal(shape)
             for position, step in enumerate(step_sequence):
                 predicted = noise_fn(x_t, step)
-                prev_step = step_sequence[position + 1] if position + 1 < len(step_sequence) else -1
-                x_t, sigma = self._ddim_update(x_t, predicted, step, prev_step, eta)
+                x_t, sigma = self._ddim_apply(x_t, predicted, plan[position])
                 if sigma > 0:
                     x_t = x_t + sigma * self._standard_normal(shape)
             samples.append(x_t)

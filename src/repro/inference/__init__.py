@@ -21,6 +21,13 @@ from .backend import (
     RequestJob,
     WindowedBackend,
 )
+from .compiled import (
+    CompiledSampler,
+    CompiledStepCache,
+    compile_enabled,
+    compiled_counters,
+    reset_compiled_counters,
+)
 from .engine import InferenceEngine, RequestPlan
 
 __all__ = [
@@ -31,4 +38,9 @@ __all__ = [
     "WindowedBackend",
     "RawImputation",
     "RequestJob",
+    "CompiledSampler",
+    "CompiledStepCache",
+    "compile_enabled",
+    "compiled_counters",
+    "reset_compiled_counters",
 ]

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .compiled import sample_chunk_compiled
+
 __all__ = ["InferenceEngine", "RequestPlan"]
 
 
@@ -95,23 +97,53 @@ class InferenceEngine:
         one window's samples at a time.
     ddim_steps:
         If set, use strided DDIM sampling with this many inference steps.
+    ddim_eta:
+        DDIM stochasticity (0 = deterministic trajectories, the default).
+    compiled_cache:
+        Optional :class:`~repro.inference.compiled.CompiledStepCache`: chunks
+        whose signature has been traced replay as a flat compiled schedule
+        instead of the eager per-op loop, falling back transparently when a
+        signature cannot compile.  ``None`` keeps every chunk eager.
     """
 
     def __init__(self, diffusion, predict, *, parameterization="epsilon",
-                 inference_batch_size=None, ddim_steps=None, dtype=None):
+                 inference_batch_size=None, ddim_steps=None, dtype=None,
+                 ddim_eta=0.0, compiled_cache=None):
         if parameterization not in ("epsilon", "x0_residual"):
             raise ValueError("parameterization must be 'epsilon' or 'x0_residual'")
         if inference_batch_size is not None and inference_batch_size < 1:
             raise ValueError("inference_batch_size must be a positive integer")
+        if ddim_eta < 0:
+            raise ValueError("ddim_eta must be non-negative")
         self.diffusion = diffusion
         self.predict = predict
         self.parameterization = parameterization
         self.inference_batch_size = inference_batch_size
         self.ddim_steps = ddim_steps
+        self.ddim_eta = float(ddim_eta)
+        self.compiled_cache = compiled_cache
         # Working dtype for the reverse process; defaults to the diffusion
         # object's dtype so float32 models sample in float32 end to end.
         self.dtype = np.dtype(dtype) if dtype is not None \
             else getattr(diffusion, "dtype", np.dtype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Compilation telemetry
+    # ------------------------------------------------------------------
+    @property
+    def trace_cache_hits(self):
+        """Chunks served by compiled replay (0 without a cache)."""
+        return self.compiled_cache.hits if self.compiled_cache is not None else 0
+
+    @property
+    def trace_cache_misses(self):
+        """Chunk signatures that had to be traced (0 without a cache)."""
+        return self.compiled_cache.misses if self.compiled_cache is not None else 0
+
+    @property
+    def fallback_count(self):
+        """Chunks served eagerly after a failed compile or replay."""
+        return self.compiled_cache.fallbacks if self.compiled_cache is not None else 0
 
     # ------------------------------------------------------------------
     # Window planning
@@ -190,6 +222,11 @@ class InferenceEngine:
             raise ValueError(
                 "cannot mix plans with and without per-request RNG streams in one batch"
             )
+        if self.compiled_cache is not None:
+            compiled = sample_chunk_compiled(self, plans, condition,
+                                             conditional_mask, rngs)
+            if compiled is not None:
+                return compiled
         # Scratch space the predictor may use to reuse step-independent work
         # (e.g. the conditioning tensors) across the diffusion steps of this
         # chunk; the condition and batch size are constant within a chunk.
@@ -204,7 +241,8 @@ class InferenceEngine:
         if self.ddim_steps:
             return self.diffusion.sample_ddim(
                 item_shape, noise_fn, num_samples=len(plans),
-                num_inference_steps=self.ddim_steps, batched=True, rngs=rngs,
+                num_inference_steps=self.ddim_steps, eta=self.ddim_eta,
+                batched=True, rngs=rngs,
             )
         return self.diffusion.sample(item_shape, noise_fn, num_samples=len(plans),
                                      batched=True, rngs=rngs)
@@ -250,7 +288,8 @@ class InferenceEngine:
         if self.ddim_steps:
             samples = self.diffusion.sample_ddim(
                 plan.values.shape, noise_fn, num_samples=num_samples,
-                num_inference_steps=self.ddim_steps, batched=False,
+                num_inference_steps=self.ddim_steps, eta=self.ddim_eta,
+                batched=False,
             )
         else:
             samples = self.diffusion.sample(

@@ -89,6 +89,8 @@ INJECTION_POINTS = {
                             "by name fails (TransportError)",
     "transport.shm_detach": "ShmArena release: freeing staged slots fails — "
                             "the arena must rebuild, not leak",
+    "compile.trace": "CompiledStepCache: tracing a reverse-diffusion chunk "
+                     "fails before recording (eager fallback must serve it)",
     "service.flush": "ImputationService: batch execution fails at flush",
     "service.queue_stall": "ImputationService: stall before flushing queues",
     "gateway.connection_drop": "Gateway wire: drop the connection pre-response",

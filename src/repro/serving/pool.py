@@ -253,6 +253,10 @@ class _WorkerProcess:
         self.control_bytes_sent = 0
         self.control_bytes_received = 0
         self.batches_run = 0
+        # Last compiled-counter snapshot seen from the child: batch replies
+        # carry the child's cumulative totals, and the parent folds only the
+        # delta into its own process-wide counters.
+        self._compiled_seen = {}
         self.process = ctx.Process(target=_process_worker_main,
                                    args=(child_conn, max_loaded),
                                    name=name, daemon=True)
@@ -307,12 +311,25 @@ class _WorkerProcess:
         """
         staged = self.arena.stage(task.payloads)
         try:
-            self._roundtrip(("batch", task.artifact_path, task.generation,
-                             staged.descriptors()))
+            snapshot = self._roundtrip(("batch", task.artifact_path,
+                                        task.generation,
+                                        staged.descriptors()))
+            self._fold_compiled(snapshot)
             self.batches_run += 1
             return staged.read_responses()
         finally:
             staged.release()
+
+    def _fold_compiled(self, snapshot):
+        """Fold the child's cumulative compile counters into this process."""
+        if not isinstance(snapshot, dict):
+            return
+        from ..inference.compiled import fold_compiled_counters
+
+        delta = {key: value - self._compiled_seen.get(key, 0)
+                 for key, value in snapshot.items()}
+        self._compiled_seen = snapshot
+        fold_compiled_counters(delta)
 
     def transport_totals(self):
         """Cumulative transport counters (folded into the pool on retire)."""
@@ -344,6 +361,7 @@ def _process_worker_main(conn, max_loaded=4):
     """Child-process loop: attach segments, decode descriptors, execute,
     write responses in place, reply with a small status message."""
     from ..inference.backend import _PROCESS_BACKENDS
+    from ..inference.compiled import compiled_counters
     from .transport import SegmentAttachments, decode_batch
 
     # The pool's per-worker LRU capacity applies to process workers too (one
@@ -384,7 +402,10 @@ def _process_worker_main(conn, max_loaded=4):
                 except BaseException as error:  # noqa: BLE001 - forwarded
                     reply(("error", error))
                 else:
-                    reply(("ok", None))
+                    # The reply piggybacks this child's cumulative compile
+                    # counters; the parent folds the delta into its own
+                    # totals so serving telemetry covers process workers.
+                    reply(("ok", compiled_counters()))
                 attachments.trim()
             elif kind == "warm":
                 _, artifact_path, generation = message

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..inference.compiled import compiled_counters
 from ..metrics import imputation_metrics
 from . import faults
 from .errors import DeadlineExceeded, ServiceOverloaded
@@ -512,6 +513,9 @@ class ImputationService:
             "deadline_expired": self.deadline_expired,
             "circuit_rejections": self.circuit_rejections,
             "registry": self.registry.stats(),
+            # Trace-and-replay compilation counters, aggregated process-wide
+            # (additive key — golden fixtures assert presence, not equality).
+            "compiled": compiled_counters(),
         }
         if self.circuit_policy is not None:
             stats["circuits"] = self.circuits()

@@ -84,6 +84,15 @@ from .ops import (
 )
 from .random import default_rng, randn, rand, randn_like, seed_everything
 from .gradcheck import check_gradient, numerical_gradient
+from . import trace as trace_module
+from .trace import (
+    CompiledProgram,
+    TraceGraph,
+    TraceUnsupported,
+    Tracer,
+    compile_graph,
+    trace,
+)
 
 __all__ = [
     "Tensor",
@@ -126,4 +135,10 @@ __all__ = [
     "seed_everything",
     "check_gradient",
     "numerical_gradient",
+    "trace",
+    "Tracer",
+    "TraceGraph",
+    "TraceUnsupported",
+    "CompiledProgram",
+    "compile_graph",
 ]

@@ -23,6 +23,7 @@ import contextlib
 import numpy as np
 
 from .tensor import Tensor, as_tensor, _unbroadcast
+from .trace import trace_barrier, trace_runtime_guard
 
 __all__ = [
     "add_n",
@@ -111,7 +112,7 @@ def add_n(tensors):
             if tensor.requires_grad:
                 tensor._accumulate(_unbroadcast(grad, tensor.data.shape))
 
-    return Tensor._from_op(out_data, tuple(tensors), backward)
+    return Tensor._from_op(out_data, tuple(tensors), backward, "add_n")
 
 
 def cat(tensors, axis=0):
@@ -130,7 +131,8 @@ def cat(tensors, axis=0):
             slicer[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(slicer)])
 
-    return Tensor._from_op(out_data, tuple(tensors), backward)
+    return Tensor._from_op(out_data, tuple(tensors), backward, "cat",
+                            {"axis": axis})
 
 
 def stack(tensors, axis=0):
@@ -145,7 +147,8 @@ def stack(tensors, axis=0):
             if tensor.requires_grad:
                 tensor._accumulate(piece.reshape(tensor.data.shape))
 
-    return Tensor._from_op(out_data, tuple(tensors), backward)
+    return Tensor._from_op(out_data, tuple(tensors), backward, "stack",
+                            {"axis": axis})
 
 
 def split(tensor, sections, axis=0):
@@ -169,6 +172,9 @@ def where(condition, x, y):
     ``condition`` is treated as a constant (no gradient flows through it).
     """
     condition = np.asarray(condition.data if isinstance(condition, Tensor) else condition)
+    # The condition is baked into the replay as a constant; refuse to trace
+    # when it was computed from runtime data.
+    trace_runtime_guard(condition)
     mask = condition.astype(bool)
     x = as_tensor(x)
     y = as_tensor(y)
@@ -181,7 +187,8 @@ def where(condition, x, y):
         if y.requires_grad:
             y._accumulate(_reduce_like(grad * (~mask), y.data.shape))
 
-    return Tensor._from_op(out_data, (x, y), backward)
+    return Tensor._from_op(out_data, (x, y), backward, "where",
+                            {"condition": mask})
 
 
 def _reduce_like(grad, shape):
@@ -203,7 +210,7 @@ def maximum(x, y):
         if y.requires_grad:
             y._accumulate(_reduce_like(grad * (1.0 - x_wins - ties), y.data.shape))
 
-    return Tensor._from_op(out_data, (x, y), backward)
+    return Tensor._from_op(out_data, (x, y), backward, "maximum")
 
 
 def minimum(x, y):
@@ -237,7 +244,8 @@ def softmax(x, axis=-1):
             inner -= out_data * inner.sum(axis=axis, keepdims=True)
             x._accumulate(inner)
 
-    return Tensor._from_op(out_data, (x,), backward)
+    return Tensor._from_op(out_data, (x,), backward, "softmax",
+                            {"axis": axis})
 
 
 def log_softmax(x, axis=-1):
@@ -285,7 +293,8 @@ def gelu(x):
             local += 0.5 * data * (1.0 - inner ** 2) * c * (1.0 + 3.0 * _GELU_COEFF * data ** 2)
             x._accumulate(grad * local)
 
-    return Tensor._from_op(out_data, (x,), backward)
+    return Tensor._from_op(out_data, (x,), backward, "gelu",
+                            {"coeff": _GELU_COEFF})
 
 
 def _silu_reference(x):
@@ -306,11 +315,14 @@ def silu(x):
             # d/dx [x s(x)] = s(x) (1 + x (1 - s(x)))
             x._accumulate(grad * (sig * (1.0 + x.data * (1.0 - sig))))
 
-    return Tensor._from_op(out_data, (x,), backward)
+    return Tensor._from_op(out_data, (x,), backward, "silu")
 
 
 def leaky_relu(x, negative_slope=0.01):
     x = as_tensor(x)
+    # The slope mask is a fresh leaf computed from x's data with raw numpy:
+    # a replay would bake it stale, so refuse to trace through it.
+    trace_barrier("leaky_relu computes a data-dependent constant")
     mask = (x.data > 0).astype(x.data.dtype)
     scale = Tensor(mask + negative_slope * (1.0 - mask), dtype=x.data.dtype)
     return x * scale
@@ -354,7 +366,8 @@ def layer_norm(x, gamma, beta, eps=1e-5):
             term -= x_hat * np.mean(d_hat * x_hat, axis=-1, keepdims=True)
             x._accumulate(inv_std * term)
 
-    return Tensor._from_op(out_data, (x, gamma, beta), backward)
+    return Tensor._from_op(out_data, (x, gamma, beta), backward, "layer_norm",
+                            {"eps": eps})
 
 
 def attention_core(queries, keys, values, scale=1.0):
@@ -402,7 +415,8 @@ def attention_core(queries, keys, values, scale=1.0):
                     _unbroadcast(np.swapaxes(d_scores, -1, -2) @ queries.data, keys.data.shape)
                 )
 
-    return Tensor._from_op(out_data, (queries, keys, values), backward)
+    return Tensor._from_op(out_data, (queries, keys, values), backward,
+                            "attention_core", {"scale": scale})
 
 
 def mse_loss(prediction, target):
@@ -480,4 +494,6 @@ def pad_time(x, pad_left, pad_right, axis=-2):
         if x.requires_grad:
             x._accumulate(np.asarray(grad)[slicer])
 
-    return Tensor._from_op(out_data, (x,), backward)
+    return Tensor._from_op(out_data, (x,), backward, "pad_time",
+                            {"pad_left": pad_left, "pad_right": pad_right,
+                             "axis": axis})

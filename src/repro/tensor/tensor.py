@@ -115,6 +115,13 @@ def is_grad_enabled():
     return getattr(_STATE, "grad_enabled", _GRAD_ENABLED_DEFAULT)
 
 
+def _trace_fail_if_active(reason):
+    """Mark any active trace on this thread failed (see repro.tensor.trace)."""
+    trace = getattr(_STATE, "trace", None)
+    if trace is not None:
+        trace.fail(reason)
+
+
 def _unbroadcast(grad, shape):
     """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
 
@@ -198,20 +205,35 @@ class Tensor:
 
     def item(self):
         """Return the value of a scalar (size-1) tensor as a Python float."""
+        # A Python float read off a traced value is data-dependent control
+        # flow as far as a replay is concerned — refuse to bake it.
+        _trace_fail_if_active("Tensor.item() during trace")
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
 
     def detach(self):
-        """Return a new tensor sharing data but detached from the graph."""
+        """Return a new tensor sharing data but detached from the graph.
+
+        The detached tensor shares its ndarray, so an active trace resolves
+        it to the same recorded value — no op node is needed.
+        """
         return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self):
         """Return a detached deep copy of the tensor."""
-        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
+        out = Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
+        trace = getattr(_STATE, "trace", None)
+        if trace is not None:
+            trace.record("copy", (self,), None, out)
+        return out
 
     def astype(self, dtype):
         """Return a detached copy cast to ``dtype``."""
         data = self.data.astype(np.dtype(dtype))   # ndarray.astype always copies
-        return Tensor(data, requires_grad=False, dtype=data.dtype)
+        out = Tensor(data, requires_grad=False, dtype=data.dtype)
+        trace = getattr(_STATE, "trace", None)
+        if trace is not None:
+            trace.record("astype", (self,), {"dtype": np.dtype(dtype)}, out)
+        return out
 
     def zero_grad(self):
         """Reset the accumulated gradient."""
@@ -228,7 +250,7 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def _from_op(cls, data, parents, backward):
+    def _from_op(cls, data, parents, backward, op=None, params=None):
         data = np.asarray(data)
         requires = any(p.requires_grad for p in parents)
         # Pass the computed dtype through unchanged: results follow their
@@ -237,6 +259,12 @@ class Tensor:
                   _parents=parents if requires else (), dtype=data.dtype)
         if requires and is_grad_enabled():
             out._backward = backward
+        # ``op``/``params`` name the replay kernel for trace-and-replay
+        # compilation (repro.tensor.trace); an op recorded without them
+        # marks any active trace failed, which triggers the eager fallback.
+        trace = getattr(_STATE, "trace", None)
+        if trace is not None:
+            trace.record(op, parents, params, out)
         return out
 
     def _coerce(self, other):
@@ -271,6 +299,7 @@ class Tensor:
             Gradient of some scalar objective with respect to this tensor.
             Defaults to ``1`` which is only valid for scalar outputs.
         """
+        _trace_fail_if_active("Tensor.backward() during trace")
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
@@ -315,7 +344,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.data.shape))
 
-        return Tensor._from_op(out_data, (self, other), backward)
+        return Tensor._from_op(out_data, (self, other), backward, "add")
 
     __radd__ = __add__
 
@@ -329,7 +358,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad, other.data.shape))
 
-        return Tensor._from_op(out_data, (self, other), backward)
+        return Tensor._from_op(out_data, (self, other), backward, "sub")
 
     def __rsub__(self, other):
         return self._coerce(other).__sub__(self)
@@ -344,7 +373,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
 
-        return Tensor._from_op(out_data, (self, other), backward)
+        return Tensor._from_op(out_data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -360,7 +389,7 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other.data ** 2), other.data.shape)
                 )
 
-        return Tensor._from_op(out_data, (self, other), backward)
+        return Tensor._from_op(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other):
         return self._coerce(other).__truediv__(self)
@@ -372,7 +401,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "neg")
 
     def __pow__(self, exponent):
         if not np.isscalar(exponent):
@@ -383,7 +412,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "pow",
+                               {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # Matrix multiplication
@@ -401,7 +431,7 @@ class Tensor:
                 grad_other = np.swapaxes(self.data, -1, -2) @ grad
                 other._accumulate(_unbroadcast(grad_other, other.data.shape))
 
-        return Tensor._from_op(out_data, (self, other), backward)
+        return Tensor._from_op(out_data, (self, other), backward, "matmul")
 
     __matmul__ = matmul
 
@@ -415,7 +445,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "exp")
 
     def log(self):
         out_data = np.log(self.data)
@@ -424,7 +454,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "log")
 
     def sqrt(self):
         out_data = np.sqrt(self.data)
@@ -433,7 +463,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "sqrt")
 
     def abs(self):
         out_data = np.abs(self.data)
@@ -442,7 +472,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "abs")
 
     def tanh(self):
         out_data = np.tanh(self.data)
@@ -451,7 +481,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "tanh")
 
     def sigmoid(self):
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -460,7 +490,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "sigmoid")
 
     def relu(self):
         mask = self.data > 0
@@ -470,7 +500,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "relu")
 
     def clip(self, min_value=None, max_value=None):
         """Clamp values; gradient is passed through inside the active range."""
@@ -485,7 +515,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "clip",
+                               {"min": min_value, "max": max_value})
 
     # ------------------------------------------------------------------
     # Reductions
@@ -505,7 +536,8 @@ class Tensor:
                 expanded = np.broadcast_to(grad, self.data.shape)
             self._accumulate(expanded)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "sum",
+                               {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims=False):
         if axis is None:
@@ -542,7 +574,8 @@ class Tensor:
                 grad_exp = grad if keepdims else np.expand_dims(grad, axis=axis)
                 self._accumulate(mask * grad_exp)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "max",
+                               {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -557,7 +590,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.asarray(grad).reshape(original_shape))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "reshape",
+                               {"shape": shape})
 
     def transpose(self, *axes):
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -571,7 +605,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.asarray(grad).transpose(inverse))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "transpose",
+                               {"axes": axes})
 
     def swapaxes(self, axis1, axis2):
         axes = list(range(self.data.ndim))
@@ -585,7 +620,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "expand_dims",
+                               {"axis": axis})
 
     def squeeze(self, axis=None):
         out_data = np.squeeze(self.data, axis=axis)
@@ -594,7 +630,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "squeeze",
+                               {"axis": axis})
 
     def broadcast_to(self, shape):
         out_data = np.broadcast_to(self.data, shape)
@@ -603,7 +640,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(np.asarray(grad), self.data.shape))
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "broadcast_to",
+                               {"shape": shape})
 
     def __getitem__(self, index):
         out_data = self.data[index]
@@ -614,4 +652,5 @@ class Tensor:
                 np.add.at(full, index, np.asarray(grad))
                 self._accumulate(full)
 
-        return Tensor._from_op(out_data, (self,), backward)
+        return Tensor._from_op(out_data, (self,), backward, "getitem",
+                               {"index": index})

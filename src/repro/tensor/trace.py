@@ -1,0 +1,838 @@
+"""Trace-and-replay compilation of ``no_grad`` Tensor computations.
+
+Eager inference pays a Python tax on every op: each call allocates a fresh
+output ndarray, builds a :class:`~repro.tensor.Tensor` wrapper and (outside
+``no_grad``) a backward closure.  For the reverse-diffusion hot loop the
+*computation* is identical on every call of the same signature — only the
+input buffers change — so this module records it once and replays it flat:
+
+* a :class:`Tracer` (the ``trace()`` context) hooks ``Tensor._from_op`` and
+  records every op executed on the calling thread into a :class:`TraceGraph`
+  of flat nodes.  Tensors whose arrays were registered as *inputs* stay
+  symbolic; every other leaf (network weights, scalar diffusion
+  coefficients, step-embedding rows) is captured **by reference** as a
+  constant — that is the constant folding: per-step coefficients computed
+  while tracing become a baked constant table.
+* :func:`compile_graph` plans the replay: dead code is dropped, a liveness
+  pass assigns every intermediate a slot in a single pre-allocated buffer
+  arena (slots are reused the moment their last consumer has run), and
+  adjacent single-consumer elementwise ops are fused into one kernel
+  closure.  The fused single-node ops from ``repro.tensor.ops`` (softmax,
+  silu, gelu, layer_norm, attention_core, add_n) record as single nodes, so
+  the planner reuses those kernels directly.
+* :class:`CompiledProgram.run` rebinds the inputs and executes the schedule
+  — zero graph construction, zero Tensor wrappers, intermediates written
+  in place via ``out=``.
+
+Bit-identity is the contract: every kernel replicates the *exact* numpy
+expression of the eager op (same ufuncs, same operand order, same scalar
+handling), so a replay produces the same bits as the recorded execution.
+Anything the tracer cannot prove replayable — an op recorded without
+metadata, a parameter derived from runtime data, an explicit
+:func:`trace_barrier` — marks the trace failed; callers then fall back to
+the eager path, which already ran to completion (tracing never changes what
+the eager code computes).
+
+The replay arena is shared mutable state: :meth:`CompiledProgram.run` is
+not reentrant and callers (``repro.inference.compiled``) must serialise
+replays of one program across threads.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from .tensor import _STATE
+
+__all__ = [
+    "TraceUnsupported",
+    "TraceGraph",
+    "Tracer",
+    "CompiledProgram",
+    "trace",
+    "compile_graph",
+    "active_trace",
+    "trace_barrier",
+    "trace_runtime_guard",
+]
+
+
+class TraceUnsupported(RuntimeError):
+    """The recorded computation cannot be compiled — fall back to eager."""
+
+
+def active_trace():
+    """Return the :class:`Tracer` recording on this thread, or ``None``."""
+    return getattr(_STATE, "trace", None)
+
+
+def trace_barrier(reason):
+    """Mark any active trace on this thread as failed.
+
+    Placed in code paths whose results depend on tensor *data* in ways the
+    recorded graph cannot express (e.g. constants computed with raw numpy
+    from an input, fresh RNG draws): replaying such a trace would silently
+    bake stale values, so the trace is refused instead.
+    """
+    tracer = active_trace()
+    if tracer is not None:
+        tracer.fail(reason)
+
+
+def trace_runtime_guard(array):
+    """Fail any active trace if ``array`` holds runtime-traced data.
+
+    Used by ops that consume an array *outside* the recorded dataflow (e.g.
+    the ``where`` condition, which is converted to bool before recording):
+    constants are fine to bake, values computed from the trace inputs are
+    not.
+    """
+    tracer = active_trace()
+    if tracer is not None and id(array) in tracer._runtime_ids:
+        tracer.fail("op parameter derived from runtime data")
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry
+# ---------------------------------------------------------------------------
+# Each kernel replays one recorded op: ``fn(out, params, *input_arrays)``
+# returns the result array, writing into the arena slot ``out`` when one was
+# planned (``uses_out``).  ``view`` kernels return a numpy view of their
+# input (storage is aliased, never arena-allocated); ``elementwise`` flags
+# feed the chain-fusion pass.  Every kernel mirrors the eager forward
+# expression exactly — same ufuncs, same operand order — which is what makes
+# replay bit-identical.
+
+
+class _Kernel:
+    __slots__ = ("fn", "elementwise", "view", "uses_out")
+
+    def __init__(self, fn, elementwise=False, view=False, uses_out=False):
+        self.fn = fn
+        self.elementwise = elementwise
+        self.view = view
+        self.uses_out = uses_out
+
+
+def _k_add(out, p, a, b):
+    return a + b if out is None else np.add(a, b, out=out)
+
+
+def _k_sub(out, p, a, b):
+    return a - b if out is None else np.subtract(a, b, out=out)
+
+
+def _k_mul(out, p, a, b):
+    return a * b if out is None else np.multiply(a, b, out=out)
+
+
+def _k_div(out, p, a, b):
+    return a / b if out is None else np.true_divide(a, b, out=out)
+
+
+def _k_neg(out, p, a):
+    return -a if out is None else np.negative(a, out=out)
+
+
+def _k_pow(out, p, a):
+    # ``a ** e`` (ndarray.__pow__) may take integer-exponent fast paths that
+    # plain np.power(..., out=) is not guaranteed to share bit-for-bit, so
+    # this kernel replays the exact eager expression and skips the arena.
+    return a ** p["exponent"]
+
+
+def _k_matmul(out, p, a, b):
+    return a @ b if out is None else np.matmul(a, b, out=out)
+
+
+def _k_exp(out, p, a):
+    return np.exp(a) if out is None else np.exp(a, out=out)
+
+
+def _k_log(out, p, a):
+    return np.log(a) if out is None else np.log(a, out=out)
+
+
+def _k_sqrt(out, p, a):
+    return np.sqrt(a) if out is None else np.sqrt(a, out=out)
+
+
+def _k_abs(out, p, a):
+    return np.abs(a) if out is None else np.abs(a, out=out)
+
+
+def _k_tanh(out, p, a):
+    return np.tanh(a) if out is None else np.tanh(a, out=out)
+
+
+def _k_sigmoid(out, p, a):
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-a))
+    np.negative(a, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def _k_relu(out, p, a):
+    mask = a > 0
+    return a * mask if out is None else np.multiply(a, mask, out=out)
+
+
+def _k_clip(out, p, a):
+    return np.clip(a, p["min"], p["max"], out=out)
+
+
+def _k_sum(out, p, a):
+    return np.sum(a, axis=p["axis"], keepdims=p["keepdims"], out=out)
+
+
+def _k_max(out, p, a):
+    return np.max(a, axis=p["axis"], keepdims=p["keepdims"], out=out)
+
+
+def _k_copy(out, p, a):
+    if out is None:
+        return a.copy()
+    np.copyto(out, a)
+    return out
+
+
+def _k_astype(out, p, a):
+    return a.astype(p["dtype"])
+
+
+def _k_reshape(out, p, a):
+    return a.reshape(p["shape"])
+
+
+def _k_transpose(out, p, a):
+    return a.transpose(p["axes"])
+
+
+def _k_expand_dims(out, p, a):
+    return np.expand_dims(a, axis=p["axis"])
+
+
+def _k_squeeze(out, p, a):
+    return np.squeeze(a, axis=p["axis"])
+
+
+def _k_broadcast_to(out, p, a):
+    return np.broadcast_to(a, p["shape"])
+
+
+def _k_getitem(out, p, a):
+    return a[p["index"]]
+
+
+def _k_add_n(out, p, *arrays):
+    if out is None:
+        shape = np.broadcast_shapes(*(a.shape for a in arrays))
+        out = np.zeros(shape, dtype=np.result_type(*(a.dtype for a in arrays)))
+    else:
+        out[...] = 0
+    for a in arrays:
+        out += a
+    return out
+
+
+def _k_cat(out, p, *arrays):
+    return np.concatenate(arrays, axis=p["axis"], out=out)
+
+
+def _k_stack(out, p, *arrays):
+    return np.stack(arrays, axis=p["axis"])
+
+
+def _k_where(out, p, a, b):
+    return np.where(p["condition"], a, b)
+
+
+def _k_maximum(out, p, a, b):
+    return np.maximum(a, b) if out is None else np.maximum(a, b, out=out)
+
+
+def _k_softmax(out, p, a):
+    axis = p["axis"]
+    shifted = a - a.max(axis=axis, keepdims=True)
+    if out is None:
+        out = np.exp(shifted)
+    else:
+        np.exp(shifted, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+    return out
+
+
+def _k_silu(out, p, a):
+    sig = 1.0 / (1.0 + np.exp(-a))
+    return a * sig if out is None else np.multiply(a, sig, out=out)
+
+
+def _k_gelu(out, p, a):
+    c = a.dtype.type(np.sqrt(2.0 / np.pi))
+    inner = np.tanh(c * (a + p["coeff"] * a ** 3))
+    if out is None:
+        return 0.5 * a * (1.0 + inner)
+    np.multiply(0.5 * a, 1.0 + inner, out=out)
+    return out
+
+
+def _k_layer_norm(out, p, a, gamma, beta):
+    mean = a.mean(axis=-1, keepdims=True)
+    centered = a - mean
+    variance = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + p["eps"])
+    x_hat = centered * inv_std
+    if out is None:
+        return x_hat * gamma + beta
+    np.add(x_hat * gamma, beta, out=out)
+    return out
+
+
+def _k_attention_core(out, p, q, k, v):
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= p["scale"]
+    scores -= scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    return weights @ v if out is None else np.matmul(weights, v, out=out)
+
+
+def _k_attention_weights(out, p, q, k):
+    # First half of _k_attention_core, split out by the planner so the
+    # softmax attention map can be shared when Q and K are step-invariant
+    # (PriSTI computes them from the prior, not the noisy stream).  The
+    # ufunc sequence matches _k_attention_core exactly; the ``out`` form
+    # runs the same ops in place on the arena slot.
+    kt = np.swapaxes(k, -1, -2)
+    scores = q @ kt if out is None else np.matmul(q, kt, out=out)
+    scores *= p["scale"]
+    scores -= scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores) if out is None else np.exp(scores, out=scores)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    return weights
+
+
+def _k_pad_time(out, p, a):
+    axis = p["axis"]
+    pad_width = [(0, 0)] * a.ndim
+    pad_width[axis] = (p["pad_left"], p["pad_right"])
+    if out is None:
+        return np.pad(a, pad_width)
+    out[...] = 0
+    slicer = [slice(None)] * a.ndim
+    slicer[axis] = slice(p["pad_left"], p["pad_left"] + a.shape[axis])
+    out[tuple(slicer)] = a
+    return out
+
+
+_KERNELS = {
+    "add": _Kernel(_k_add, elementwise=True, uses_out=True),
+    "sub": _Kernel(_k_sub, elementwise=True, uses_out=True),
+    "mul": _Kernel(_k_mul, elementwise=True, uses_out=True),
+    "div": _Kernel(_k_div, elementwise=True, uses_out=True),
+    "neg": _Kernel(_k_neg, elementwise=True, uses_out=True),
+    "pow": _Kernel(_k_pow, elementwise=True),
+    "matmul": _Kernel(_k_matmul, uses_out=True),
+    "exp": _Kernel(_k_exp, elementwise=True, uses_out=True),
+    "log": _Kernel(_k_log, elementwise=True, uses_out=True),
+    "sqrt": _Kernel(_k_sqrt, elementwise=True, uses_out=True),
+    "abs": _Kernel(_k_abs, elementwise=True, uses_out=True),
+    "tanh": _Kernel(_k_tanh, elementwise=True, uses_out=True),
+    "sigmoid": _Kernel(_k_sigmoid, elementwise=True, uses_out=True),
+    "relu": _Kernel(_k_relu, elementwise=True, uses_out=True),
+    "clip": _Kernel(_k_clip, elementwise=True, uses_out=True),
+    "sum": _Kernel(_k_sum, uses_out=True),
+    "max": _Kernel(_k_max, uses_out=True),
+    "copy": _Kernel(_k_copy, uses_out=True),
+    "astype": _Kernel(_k_astype),
+    "reshape": _Kernel(_k_reshape, view=True),
+    "transpose": _Kernel(_k_transpose, view=True),
+    "expand_dims": _Kernel(_k_expand_dims, view=True),
+    "squeeze": _Kernel(_k_squeeze, view=True),
+    "broadcast_to": _Kernel(_k_broadcast_to, view=True),
+    # Basic getitem returns a view, fancy getitem a copy; treating both as
+    # views is the conservative choice — the input's storage merely stays
+    # live a little longer than strictly needed in the fancy case.
+    "getitem": _Kernel(_k_getitem, view=True),
+    "add_n": _Kernel(_k_add_n, uses_out=True),
+    "cat": _Kernel(_k_cat, uses_out=True),
+    "stack": _Kernel(_k_stack),
+    "where": _Kernel(_k_where, elementwise=True),
+    "maximum": _Kernel(_k_maximum, elementwise=True, uses_out=True),
+    "softmax": _Kernel(_k_softmax, uses_out=True),
+    "silu": _Kernel(_k_silu, elementwise=True, uses_out=True),
+    "gelu": _Kernel(_k_gelu, elementwise=True, uses_out=True),
+    "layer_norm": _Kernel(_k_layer_norm, uses_out=True),
+    "attention_core": _Kernel(_k_attention_core, uses_out=True),
+    "attention_weights": _Kernel(_k_attention_weights, uses_out=True),
+    "pad_time": _Kernel(_k_pad_time, uses_out=True),
+}
+
+
+# ---------------------------------------------------------------------------
+# Recording
+# ---------------------------------------------------------------------------
+
+
+class _Value:
+    __slots__ = ("vid", "kind", "name", "shape", "dtype", "array")
+
+    def __init__(self, vid, kind, shape, dtype, name=None, array=None):
+        self.vid = vid
+        self.kind = kind          # "input" | "capture" | "op"
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self.array = array        # captures only: the baked constant
+
+
+class _Node:
+    __slots__ = ("op", "params", "inputs", "out")
+
+    def __init__(self, op, params, inputs, out):
+        self.op = op
+        self.params = params
+        self.inputs = inputs
+        self.out = out
+
+
+class TraceGraph:
+    """The flat op-node program a :class:`Tracer` records."""
+
+    def __init__(self):
+        self.values = []
+        self.nodes = []
+        self.inputs = {}          # name -> vid
+        self.outputs = []         # vids
+        self.failed = None        # first failure reason, or None
+
+
+def _params_touch_runtime(value, runtime_ids):
+    """Whether an op parameter smuggles in a runtime-traced array."""
+    if isinstance(value, np.ndarray):
+        return id(value) in runtime_ids
+    if isinstance(value, dict):
+        return any(_params_touch_runtime(v, runtime_ids) for v in value.values())
+    if isinstance(value, (tuple, list)):
+        return any(_params_touch_runtime(v, runtime_ids) for v in value)
+    return False
+
+
+class Tracer:
+    """Records the ops executed on this thread into a :class:`TraceGraph`.
+
+    Use as a context manager; the traced code runs eagerly and its results
+    are valid whether or not the trace succeeds.  Values are resolved by the
+    ``id`` of their underlying ndarray: arrays registered via
+    :meth:`add_input` (and every recorded op output) are *runtime* values,
+    anything else reaching an op is captured by reference as a constant.
+    Runtime array ids are tracked through weak references so a collected
+    intermediate can never alias a later allocation.
+    """
+
+    def __init__(self):
+        self.graph = TraceGraph()
+        self._array_vids = {}
+        self._runtime_ids = set()
+        self._weakrefs = []
+        self._captures = []          # strong refs: ids must stay stable
+        self._input_arrays = {}
+
+    # -- context management -------------------------------------------------
+    def __enter__(self):
+        if active_trace() is not None:
+            raise RuntimeError("a trace is already active on this thread")
+        _STATE.trace = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STATE.trace = None
+        return False
+
+    # -- value registration -------------------------------------------------
+    def _new_value(self, kind, shape, dtype, name=None, array=None):
+        vid = len(self.graph.values)
+        self.graph.values.append(_Value(vid, kind, shape, dtype, name, array))
+        return vid
+
+    def _register_array(self, array, vid, runtime):
+        key = id(array)
+        self._array_vids[key] = vid
+        if runtime:
+            self._runtime_ids.add(key)
+            array_vids, runtime_ids = self._array_vids, self._runtime_ids
+
+            def _purge(ref, key=key):
+                array_vids.pop(key, None)
+                runtime_ids.discard(key)
+
+            self._weakrefs.append(weakref.ref(array, _purge))
+        else:
+            self._captures.append(array)
+
+    def add_input(self, name, array):
+        """Register ``array`` as a replay-time input and return it."""
+        array = np.asarray(array)
+        if name in self._input_arrays:
+            raise ValueError(f"duplicate trace input {name!r}")
+        vid = self._new_value("input", array.shape, array.dtype, name=name)
+        self.graph.inputs[name] = vid
+        self._input_arrays[name] = array
+        self._register_array(array, vid, runtime=True)
+        return array
+
+    def _resolve(self, tensor):
+        array = tensor.data
+        vid = self._array_vids.get(id(array))
+        if vid is not None:
+            return vid
+        vid = self._new_value("capture", array.shape, array.dtype, array=array)
+        self._register_array(array, vid, runtime=False)
+        return vid
+
+    # -- recording ----------------------------------------------------------
+    def fail(self, reason):
+        if self.graph.failed is None:
+            self.graph.failed = str(reason)
+
+    def require_runtime(self, array, reason):
+        """Fail the trace unless ``array`` was produced by recorded ops.
+
+        Callers place this where a value computed *outside* the trace (raw
+        numpy in a custom predictor, say) would otherwise resolve as a
+        capture and silently bake one execution's data into every replay.
+        """
+        if self.graph.failed is None and id(array) not in self._runtime_ids:
+            self.fail(reason)
+
+    def record(self, op, inputs, params, out):
+        """Hook called by ``Tensor._from_op`` (and friends) after each op."""
+        if self.graph.failed is not None:
+            return
+        kernel = _KERNELS.get(op)
+        if kernel is None:
+            self.fail(f"op without a replay kernel: {op!r}")
+            return
+        if params and _params_touch_runtime(params, self._runtime_ids):
+            self.fail(f"data-dependent parameter in op {op!r}")
+            return
+        in_vids = tuple(self._resolve(t) for t in inputs)
+        data = out.data
+        vid = self._new_value("op", data.shape, data.dtype)
+        self.graph.nodes.append(_Node(op, params or {}, in_vids, vid))
+        self._register_array(data, vid, runtime=True)
+
+    def finish(self, outputs):
+        """Declare the traced outputs and return the finished graph."""
+        self.graph.outputs = [self._resolve(t) for t in outputs]
+        return self.graph
+
+    @property
+    def failed(self):
+        return self.graph.failed
+
+
+def trace():
+    """Create a :class:`Tracer` (use as ``with trace() as tracer: ...``)."""
+    return Tracer()
+
+
+# ---------------------------------------------------------------------------
+# Planning and replay
+# ---------------------------------------------------------------------------
+
+
+def _make_step(kernel_fn, out_vid, in_vids, params, out_buf):
+    def step(env):
+        env[out_vid] = kernel_fn(out_buf, params, *[env[v] for v in in_vids])
+
+    return step
+
+
+def _make_fused(substeps):
+    def step(env):
+        for substep in substeps:
+            substep(env)
+
+    return step
+
+
+class CompiledProgram:
+    """A planned, replayable schedule compiled from a :class:`TraceGraph`."""
+
+    def __init__(self, steps, template, input_specs, output_vids, stats):
+        self._steps = steps
+        self._template = template
+        self._input_specs = input_specs
+        self._output_vids = output_vids
+        self.stats = stats
+
+    def run(self, inputs):
+        """Replay the schedule on fresh input arrays; returns output copies.
+
+        Not reentrant: intermediates live in a shared buffer arena, so
+        concurrent replays of the same program must be serialised by the
+        caller.
+        """
+        if set(inputs) != set(self._input_specs):
+            raise TraceUnsupported(
+                f"replay inputs {sorted(inputs)} do not match the traced "
+                f"signature {sorted(self._input_specs)}"
+            )
+        env = list(self._template)
+        for name, array in inputs.items():
+            vid, shape, dtype = self._input_specs[name]
+            if array.shape != shape or array.dtype != dtype:
+                raise TraceUnsupported(
+                    f"input {name!r} is {array.dtype}{array.shape}, traced "
+                    f"as {dtype}{shape}"
+                )
+            env[vid] = array
+        for step in self._steps:
+            step(env)
+        # The arena slots are reused on the next replay: hand back copies.
+        return [np.array(env[vid]) for vid in self._output_vids]
+
+
+def _freeze_param(value):
+    """A hashable key for one op parameter (CSE node keys).
+
+    Arrays freeze by identity — the tracer strong-refs every captured array,
+    so two params are "the same" only when they are the same object, which is
+    exactly the equality CSE needs (equal-but-distinct arrays stay distinct).
+    ``slice`` is unhashable, so it freezes structurally.
+    """
+    if isinstance(value, np.ndarray):
+        return ("nd", id(value))
+    if isinstance(value, slice):
+        return ("sl", value.start, value.stop, value.step)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_param(v)) for k, v in value.items()))
+    if isinstance(value, (tuple, list)):
+        return ("tu", tuple(_freeze_param(v) for v in value))
+    if isinstance(value, np.dtype):
+        return ("dt", str(value))
+    return value
+
+
+def compile_graph(graph):
+    """Plan a :class:`TraceGraph` into a :class:`CompiledProgram`.
+
+    Beyond scheduling, compilation runs three value-preserving optimisation
+    passes before the arena/fusion planner:
+
+    * **attention split** — each ``attention_core(q, k, v)`` node becomes
+      ``attention_weights(q, k)`` + ``matmul(weights, v)`` (the exact same
+      ufunc sequence, cut in two), so the softmax map becomes a node of its
+      own that the next pass can deduplicate;
+    * **constant folding** — nodes whose inputs are all captures run once at
+      compile time and bake their result into the template (the diffusion
+      step-embedding MLP collapses here: its only input is a table row);
+    * **CSE** — structurally identical nodes fed by the same values merge.
+      Reverse-diffusion traces recompute every prior-derived quantity (Q/K
+      projections, attention maps, pooled keys) once per step; after CSE the
+      replay computes each once per chunk.
+
+    Raises :class:`TraceUnsupported` when the trace failed or recorded
+    nothing replayable.
+    """
+    if graph.failed is not None:
+        raise TraceUnsupported(graph.failed)
+    if not graph.outputs:
+        raise TraceUnsupported("trace declared no outputs")
+
+    values = list(graph.values)
+
+    # Pass 1: split attention_core so the (step-invariant, when Q/K come
+    # from the conditioning prior) softmax map is CSE-able separately from
+    # the step-varying value application.
+    nodes = []
+    attention_splits = 0
+    for node in graph.nodes:
+        if node.op == "attention_core":
+            q_val, k_val = values[node.inputs[0]], values[node.inputs[1]]
+            batch = np.broadcast_shapes(q_val.shape[:-2], k_val.shape[:-2])
+            w_shape = tuple(batch) + (q_val.shape[-2], k_val.shape[-2])
+            w_dtype = np.result_type(q_val.dtype, k_val.dtype)
+            wid = len(values)
+            values.append(_Value(wid, "op", w_shape, w_dtype))
+            nodes.append(_Node("attention_weights", node.params,
+                               (node.inputs[0], node.inputs[1]), wid))
+            nodes.append(_Node("matmul", {}, (wid, node.inputs[2]), node.out))
+            attention_splits += 1
+        else:
+            nodes.append(node)
+
+    # Pass 2: constant folding.  ``baked`` maps vids produced purely from
+    # captures to their compile-time result; folded nodes leave the
+    # schedule and their outputs join the template as constants.
+    baked = {}
+
+    def _const_array(vid):
+        value = values[vid]
+        return value.array if value.kind == "capture" else baked.get(vid)
+
+    folded = []
+    folded_ops = 0
+    for node in nodes:
+        arrays = [_const_array(vin) for vin in node.inputs]
+        if arrays and all(array is not None for array in arrays):
+            baked[node.out] = np.asarray(
+                _KERNELS[node.op].fn(None, node.params, *arrays))
+            folded_ops += 1
+        else:
+            folded.append(node)
+
+    # Pass 3: common-subexpression elimination.  Processing in recorded
+    # order lets merges cascade: once two steps' Q projections merge, the
+    # head reshapes above them get identical input vids and merge too.
+    remap = {}
+    seen = {}
+    cse_nodes = []
+    cse_ops = 0
+    for node in folded:
+        inputs = tuple(remap.get(vin, vin) for vin in node.inputs)
+        key = (node.op, _freeze_param(node.params), inputs)
+        prior = seen.get(key)
+        if prior is not None:
+            remap[node.out] = prior
+            cse_ops += 1
+        else:
+            seen[key] = node.out
+            cse_nodes.append(_Node(node.op, node.params, inputs, node.out))
+    outputs = [remap.get(vid, vid) for vid in graph.outputs]
+
+    # Dead-code elimination: keep only nodes the outputs depend on.
+    needed = set(outputs)
+    schedule = []
+    for node in reversed(cse_nodes):
+        if node.out in needed:
+            needed.update(node.inputs)
+            schedule.append(node)
+    schedule.reverse()
+
+    # Storage roots: a view writes no buffer of its own — it aliases its
+    # input's storage, which must stay live as long as the view is used.
+    root = list(range(len(values)))
+    for node in schedule:
+        if _KERNELS[node.op].view:
+            root[node.out] = root[node.inputs[0]]
+
+    # Liveness: the schedule index after which each storage is dead.
+    last_use = {}
+    for index, node in enumerate(schedule):
+        for vin in node.inputs:
+            last_use[root[vin]] = index
+        last_use[root[node.out]] = index
+    for vid in outputs:
+        last_use[root[vid]] = len(schedule)      # outputs are never freed
+
+    release_at = {}
+    for storage, index in last_use.items():
+        if index < len(schedule):
+            release_at.setdefault(index, []).append(storage)
+
+    consumer_counts = {}
+    for node in schedule:
+        for vin in node.inputs:
+            consumer_counts[vin] = consumer_counts.get(vin, 0) + 1
+    output_set = set(outputs)
+
+    # Arena assignment: exact (shape, dtype) slot reuse, freed only after
+    # the producing/consuming node has fully run — an output buffer is never
+    # one of the same node's dying inputs, which keeps kernels that read
+    # while writing (matmul, reductions) trivially safe.
+    pool = {}
+    buffers = []
+    buffer_of = {}
+    node_steps = []
+    for index, node in enumerate(schedule):
+        kernel = _KERNELS[node.op]
+        out_value = values[node.out]
+        out_buf = None
+        if kernel.uses_out and not kernel.view and out_value.kind == "op":
+            key = (out_value.shape, out_value.dtype)
+            free = pool.get(key)
+            if free:
+                out_buf = free.pop()
+            else:
+                out_buf = np.empty(out_value.shape, dtype=out_value.dtype)
+                buffers.append(out_buf)
+            buffer_of[node.out] = out_buf
+        node_steps.append(_make_step(kernel.fn, node.out, node.inputs,
+                                     node.params, out_buf))
+        for storage in release_at.get(index, ()):
+            buf = buffer_of.get(storage)
+            if buf is not None:
+                pool.setdefault((buf.shape, buf.dtype), []).append(buf)
+
+    # Chain fusion: collapse maximal runs of elementwise ops where each op
+    # is the sole consumer of its predecessor's result into one kernel
+    # closure, removing per-op dispatch from the replay loop.
+    steps = []
+    fused_chains = 0
+    fused_ops = 0
+    index = 0
+    while index < len(schedule):
+        run_end = index
+        while run_end + 1 < len(schedule):
+            prev, nxt = schedule[run_end], schedule[run_end + 1]
+            if (_KERNELS[prev.op].elementwise
+                    and _KERNELS[nxt.op].elementwise
+                    and prev.out in nxt.inputs
+                    and consumer_counts.get(prev.out, 0) == 1
+                    and prev.out not in output_set):
+                run_end += 1
+            else:
+                break
+        if run_end > index:
+            steps.append(_make_fused(node_steps[index:run_end + 1]))
+            fused_chains += 1
+            fused_ops += run_end + 1 - index
+        else:
+            steps.append(node_steps[index])
+        index = run_end + 1
+
+    # Template: only constants the schedule (or the outputs) actually read
+    # are retained — folding and CSE orphan many captures, and keeping them
+    # would pin dead arrays for the lifetime of the program.
+    used = set(outputs)
+    for node in schedule:
+        used.update(node.inputs)
+    template = [None] * len(values)
+    constants = 0
+    constant_scalars = 0
+    for value in values:
+        array = value.array if value.kind == "capture" else baked.get(value.vid)
+        if array is not None and value.vid in used:
+            template[value.vid] = array
+            constants += 1
+            if array.size == 1:
+                constant_scalars += 1
+
+    input_specs = {
+        values[vid].name: (vid, values[vid].shape, values[vid].dtype)
+        for vid in graph.inputs.values()
+    }
+
+    stats = {
+        "ops_recorded": len(graph.nodes),
+        "ops_scheduled": len(schedule),
+        "kernels": len(steps),
+        "fused_chains": fused_chains,
+        "fused_ops": fused_ops,
+        "attention_splits": attention_splits,
+        "folded_ops": folded_ops,
+        "cse_ops": cse_ops,
+        "arena_buffers": len(buffers),
+        "arena_bytes": int(sum(buf.nbytes for buf in buffers)),
+        "values": len(values),
+        "constants": constants,
+        "constant_scalars": constant_scalars,
+    }
+    return CompiledProgram(steps, template, input_specs, outputs, stats)

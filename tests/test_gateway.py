@@ -419,6 +419,13 @@ class TestProtocol:
         assert stats["service"]["requests_served"] >= 1
         assert "pending_requests" in stats["service"]
         assert "registry" in stats["service"]
+        # Compiled-inference counters ride along (additive key): gateway
+        # traffic runs on trace-and-replay, so the cache was consulted.
+        compiled = stats["service"]["compiled"]
+        for key in ("trace_cache_hits", "trace_cache_misses",
+                    "fallback_count"):
+            assert key in compiled
+        assert compiled["trace_cache_misses"] + compiled["trace_cache_hits"] >= 1
 
 
 # ----------------------------------------------------------------------

@@ -241,6 +241,25 @@ class TestPoolTransportLifecycle:
         _assert_zero_leak(transport)
         _assert_names_unlinked(live)
 
+    def test_child_compile_counters_fold_into_parent(self, registry,
+                                                     tiny_traffic_dataset):
+        """Batch replies carry the child's cumulative compile counters and
+        the parent folds the deltas, so ``compiled_counters()`` (and with it
+        ``service.stats()['compiled']``) covers process-mode inference."""
+        from repro.inference import compiled_counters, reset_compiled_counters
+
+        reset_compiled_counters()
+        pool = WorkerPool(num_workers=1, mode="process")
+        with pool:
+            tickets = self._serve(registry, tiny_traffic_dataset, pool,
+                                  count=2)
+            for ticket in tickets:
+                ticket.result(timeout=120)
+        counters = compiled_counters()
+        assert counters["trace_cache_misses"] >= 1, counters
+        assert counters["compiled_programs"] >= 1, counters
+        assert counters["fallback_count"] == 0, counters
+
     def test_hard_stop_unlinks_every_segment(self, registry,
                                              tiny_traffic_dataset):
         pool = WorkerPool(num_workers=1, mode="process")

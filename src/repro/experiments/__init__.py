@@ -1,5 +1,13 @@
-"""Experiment harness: profiles, dataset/method factories and per-table runners."""
+"""Experiment harness: profiles, dataset/method factories, per-table runners,
+and the declarative serving-stack experiment matrix (:mod:`.matrix`)."""
 
+from .matrix import (
+    ExperimentMatrix,
+    MatrixCell,
+    ServingCellRunner,
+    compare_run_tables,
+    format_comparison,
+)
 from .profiles import Profile, get_profile, FAST, FULL
 from .configs import (
     TABLE3_GRID,
@@ -24,6 +32,11 @@ from .runner import (
 )
 
 __all__ = [
+    "ExperimentMatrix",
+    "MatrixCell",
+    "ServingCellRunner",
+    "compare_run_tables",
+    "format_comparison",
     "Profile",
     "get_profile",
     "FAST",

@@ -26,6 +26,8 @@ from .compiled import (
     CompiledStepCache,
     compile_enabled,
     compiled_counters,
+    compiled_metrics,
+    register_compiled_metrics,
     reset_compiled_counters,
 )
 from .engine import InferenceEngine, RequestPlan
@@ -42,5 +44,7 @@ __all__ = [
     "CompiledStepCache",
     "compile_enabled",
     "compiled_counters",
+    "compiled_metrics",
+    "register_compiled_metrics",
     "reset_compiled_counters",
 ]

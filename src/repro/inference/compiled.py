@@ -46,11 +46,14 @@ from ..tensor.tensor import get_default_dtype
 from ..tensor.trace import TraceUnsupported, compile_graph, trace
 
 __all__ = [
+    "COMPILED_METRIC_NAMES",
     "FALLBACK",
     "CompiledSampler",
     "CompiledStepCache",
     "compile_enabled",
     "compiled_counters",
+    "compiled_metrics",
+    "register_compiled_metrics",
     "reset_compiled_counters",
     "sample_chunk_compiled",
 ]
@@ -116,6 +119,35 @@ def reset_compiled_counters():
     with _GLOBAL_LOCK:
         for key in _GLOBAL_COUNTERS:
             _GLOBAL_COUNTERS[key] = 0
+
+
+#: Legacy counter key -> dotted stable metric name (repro.serving.metrics).
+COMPILED_METRIC_NAMES = {
+    "trace_cache_hits": "compiled.cache.hits",
+    "trace_cache_misses": "compiled.cache.misses",
+    "fallback_count": "compiled.fallbacks",
+    "evictions": "compiled.cache.evictions",
+    "compiled_programs": "compiled.programs",
+}
+
+
+def compiled_metrics():
+    """The process-wide compile counters under their dotted metric names."""
+    counters = compiled_counters()
+    return {COMPILED_METRIC_NAMES[key]: value for key, value in counters.items()}
+
+
+def register_compiled_metrics(metrics):
+    """Register the ``compiled.*`` metrics on a ``MetricsRegistry``.
+
+    The instruments are callback gauges over the process-global counters, so
+    one registration covers every cache in the process (and, behind a worker
+    pool, everything the children fold back through their batch replies) —
+    there is no second copy of the totals to drift.
+    """
+    for legacy, dotted in COMPILED_METRIC_NAMES.items():
+        metrics.gauge(dotted, fn=lambda key=legacy: compiled_counters()[key])
+    return metrics
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,14 @@ production-facing counterpart built on the stateless
     HTTP server exposing submit/result/streaming endpoints with JSON and NPZ
     payload codecs, boundary validation, overload -> 429 mapping and graceful
     drain on SIGTERM (see :mod:`repro.serving.gateway`).
+:class:`MetricsRegistry`
+    The typed observability spine under all of the above: every layer
+    registers its counters/gauges/histograms under dotted stable names
+    (``service.queue.depth``, ``pool.steals``, ``transport.bytes_staged``,
+    ``compiled.cache.hits``) into one registry, worker counters fold into
+    the parent through :class:`WorkerCounterMerge`, and one flat
+    :meth:`~ImputationService.metrics_snapshot` covers the whole stack with
+    a mode-independent key set (see :mod:`repro.serving.metrics`).
 :mod:`repro.serving.faults` / :mod:`repro.serving.resilience`
     Deterministic chaos and the machinery that survives it: a seeded,
     schedule-driven :class:`~repro.serving.faults.FaultInjector` with named
@@ -57,6 +65,13 @@ from .gateway import (
     GatewayError,
     GatewayServer,
     InProcessClient,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WorkerCounterMerge,
 )
 from .pool import BatchTask, RequestPayload, WorkerPool
 from .registry import ModelRegistry, RegistryError, ResolvedModel
@@ -98,6 +113,11 @@ __all__ = [
     "CircuitBreakerPolicy",
     "CircuitBreaker",
     "FallbackRouter",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "WorkerCounterMerge",
     "faults",
     "StreamingImputer",
     "StreamingUpdate",

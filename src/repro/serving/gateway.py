@@ -106,6 +106,7 @@ from .service import ImputationRequest, ImputationService
 from .streaming import StreamingImputer
 
 __all__ = [
+    "GATEWAY_METRIC_SCHEMA",
     "Gateway",
     "GatewayServer",
     "GatewayError",
@@ -123,6 +124,19 @@ __all__ = [
 
 JSON_CONTENT_TYPE = "application/json"
 NPZ_CONTENT_TYPE = "application/x-npz"
+
+#: Protocol-level metrics the gateway registers into its service's registry,
+#: declared up front so the snapshot schema never depends on traffic.
+GATEWAY_METRIC_SCHEMA = {
+    "gateway.requests": "counter",
+    "gateway.tickets.issued": "counter",
+    "gateway.tickets.fetched": "counter",
+    "gateway.tickets.unfetched": "gauge",
+    "gateway.streams.open": "gauge",
+    "gateway.rejections.overload": "counter",
+    "gateway.rejections.drain": "counter",
+    "gateway.draining": "gauge",
+}
 
 #: Hard framing limits of the wire layer (fail fast, not open-endedly).
 MAX_REQUEST_LINE_BYTES = 8 * 1024
@@ -462,14 +476,18 @@ class Gateway:
         self._connections = set()   # live wire-layer writers (see serve_connection)
         self._ticket_ids = itertools.count(1)
         self._stream_ids = itertools.count(1)
-        # Protocol counters (see /v1/stats).
-        self.requests_total = 0
+        # Protocol counters (see /v1/stats) live in the service's metrics
+        # registry under gateway.* — one snapshot covers gateway + service +
+        # executor.  Per-status / per-codec breakdowns keep their own dicts
+        # (dynamic key sets don't fit the declared-schema contract).
+        self.metrics = service.metrics
+        self.metrics.declare(GATEWAY_METRIC_SCHEMA)
+        self.metrics.gauge("gateway.tickets.unfetched",
+                           fn=lambda: len(self._tickets))
+        self.metrics.gauge("gateway.streams.open", fn=lambda: len(self._streams))
+        self.metrics.gauge("gateway.draining", fn=lambda: int(self.draining))
         self.responses_by_status = {}
         self.codec_counts = {JSON_CONTENT_TYPE: 0, NPZ_CONTENT_TYPE: 0}
-        self.tickets_issued = 0
-        self.tickets_fetched = 0
-        self.overload_rejections = 0
-        self.drain_rejections = 0
         service.start()
 
     # ------------------------------------------------------------------
@@ -477,7 +495,7 @@ class Gateway:
     # ------------------------------------------------------------------
     async def handle(self, request):
         """Map one :class:`HTTPRequest` to an :class:`HTTPResponse`."""
-        self.requests_total += 1
+        self.metrics.counter("gateway.requests").inc()
         try:
             response = await self._route(request)
         except GatewayError as error:
@@ -488,7 +506,7 @@ class Gateway:
             # (see errors.GATEWAY_STATUS); every 429/503 carries Retry-After.
             status, code = classify(error)
             if isinstance(error, ServiceOverloaded):
-                self.overload_rejections += 1
+                self.metrics.counter("gateway.rejections.overload").inc()
             extra = {}
             if status in (429, 503):
                 extra["Retry-After"] = self._retry_after_for(error)
@@ -593,7 +611,7 @@ class Gateway:
         self.codec_counts[request.content_type] = (
             self.codec_counts.get(request.content_type, 0) + 1)
         if len(self._tickets) >= self.max_tickets:
-            self.overload_rejections += 1
+            self.metrics.counter("gateway.rejections.overload").inc()
             return self._respond(429, _error_body(
                 429, "overloaded",
                 f"{len(self._tickets)} unfetched tickets (max_tickets="
@@ -608,7 +626,7 @@ class Gateway:
         ticket_id = f"t{next(self._ticket_ids):08d}"
         self._tickets[ticket_id] = _Ticket(pending=pending,
                                            submitted_at=self.clock())
-        self.tickets_issued += 1
+        self.metrics.counter("gateway.tickets.issued").inc()
         return self._json_response(
             202, {"ticket": ticket_id, "status": "queued"},
             extra={"Location": f"/v1/result/{ticket_id}"})
@@ -625,7 +643,7 @@ class Gateway:
         # One-shot fetch: the record is dropped only on success, so an errored
         # ticket keeps reporting its failure to retries.
         del self._tickets[ticket_id]
-        self.tickets_fetched += 1
+        self.metrics.counter("gateway.tickets.fetched").inc()
         return self._respond(200, encode_response_body(response, request.accept),
                              content_type=request.accept)
 
@@ -718,30 +736,58 @@ class Gateway:
 
     def _refuse_if_draining(self):
         if self.draining:
-            self.drain_rejections += 1
+            self.metrics.counter("gateway.rejections.drain").inc()
             raise GatewayError(503, "draining",
                                "gateway is draining; no new work accepted",
                                headers={"Connection": "close"})
 
+    # Legacy counter attributes, read-through views of the shared registry.
+    @property
+    def requests_total(self):
+        return self.metrics.counter("gateway.requests").value
+
+    @property
+    def tickets_issued(self):
+        return self.metrics.counter("gateway.tickets.issued").value
+
+    @property
+    def tickets_fetched(self):
+        return self.metrics.counter("gateway.tickets.fetched").value
+
+    @property
+    def overload_rejections(self):
+        return self.metrics.counter("gateway.rejections.overload").value
+
+    @property
+    def drain_rejections(self):
+        return self.metrics.counter("gateway.rejections.drain").value
+
     def stats(self):
-        """Gateway counters plus the full service/registry/executor picture."""
+        """Gateway counters plus the full service/registry/executor picture.
+
+        The legacy nested sections are a shim over the flat snapshot exposed
+        under ``"metrics"`` (which also carries the ``gateway.*`` names).
+        """
+        stats = self.service.stats()
+        snapshot = stats["metrics"]
         return {
             "gateway": {
                 "draining": self.draining,
-                "requests_total": self.requests_total,
+                "requests_total": snapshot["gateway.requests"],
                 "responses_by_status": {
                     str(status): count
                     for status, count in sorted(self.responses_by_status.items())
                 },
                 "codec_requests": dict(self.codec_counts),
-                "tickets_issued": self.tickets_issued,
-                "tickets_fetched": self.tickets_fetched,
-                "tickets_unfetched": len(self._tickets),
-                "open_streams": len(self._streams),
-                "overload_rejections": self.overload_rejections,
-                "drain_rejections": self.drain_rejections,
+                "tickets_issued": snapshot["gateway.tickets.issued"],
+                "tickets_fetched": snapshot["gateway.tickets.fetched"],
+                "tickets_unfetched": snapshot["gateway.tickets.unfetched"],
+                "open_streams": snapshot["gateway.streams.open"],
+                "overload_rejections": snapshot["gateway.rejections.overload"],
+                "drain_rejections": snapshot["gateway.rejections.drain"],
             },
-            "service": self.service.stats(),
+            "service": stats,
+            "metrics": snapshot,
         }
 
     # ------------------------------------------------------------------

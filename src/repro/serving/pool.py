@@ -80,12 +80,93 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..inference.backend import BackendCache, process_backend
+from ..inference.compiled import COMPILED_METRIC_NAMES, fold_compiled_counters
 from . import faults
 from .errors import PoolStopped, ServiceOverloaded, TransportError, WorkerCrashed
-from .transport import DEFAULT_SEGMENT_BYTES, ShmArena
+from .metrics import MetricsRegistry, WorkerCounterMerge
+from .transport import (
+    DEFAULT_SEGMENT_BYTES,
+    TRANSPORT_COUNTER_NAMES,
+    TRANSPORT_GAUGE_NAMES,
+    ShmArena,
+)
 
 __all__ = ["WorkerPool", "ServiceOverloaded", "PoolStopped", "WorkerCrashed",
-           "TransportError", "RequestPayload", "BatchTask", "execute_batch"]
+           "TransportError", "RequestPayload", "BatchTask", "execute_batch",
+           "POOL_METRIC_SCHEMA", "TRANSPORT_METRIC_SCHEMA",
+           "executor_metric_schema", "zero_executor_snapshot",
+           "inline_executor_stats"]
+
+#: The stable ``pool.*`` metric schema every WorkerPool registers — and every
+#: inline service zero-fills — so a scraper sees one key set in every mode.
+POOL_METRIC_SCHEMA = {
+    "pool.workers": "gauge",
+    "pool.workers.dead": "gauge",
+    "pool.batches.dispatched": "counter",
+    "pool.batches.executed": "counter",
+    "pool.batches.crashed": "counter",
+    "pool.batches.queued": "gauge",
+    "pool.batches.inflight": "gauge",
+    "pool.steals": "counter",
+    "pool.splits": "counter",
+    "pool.requests.rejected": "counter",
+    "pool.backlog": "gauge",
+    "pool.backlog.max": "gauge",
+    "pool.warm.models": "counter",
+    "pool.warm.failures": "counter",
+    "pool.warm.seconds": "counter",
+}
+
+#: The ``transport.*`` half of the executor schema (shm data plane).
+TRANSPORT_METRIC_SCHEMA = dict(
+    {name: "counter" for name in TRANSPORT_COUNTER_NAMES.values()},
+    **{name: "gauge" for name in TRANSPORT_GAUGE_NAMES.values()},
+)
+
+#: Dotted compile-counter name -> legacy key (child piggyback fold routing).
+_DOTTED_TO_COMPILED = {dotted: legacy
+                       for legacy, dotted in COMPILED_METRIC_NAMES.items()}
+
+
+def executor_metric_schema():
+    """The full executor metric schema (``pool.*`` + ``transport.*``)."""
+    return dict(POOL_METRIC_SCHEMA, **TRANSPORT_METRIC_SCHEMA)
+
+
+def zero_executor_snapshot():
+    """Zero-valued executor snapshot — what an inline service reports so the
+    flat metrics key set never depends on whether a pool is attached."""
+    return {name: 0 for name in executor_metric_schema()}
+
+
+def inline_executor_stats():
+    """The legacy ``executor`` stats section of a pool-less service.
+
+    Key-compatible with :meth:`WorkerPool.stats` (``mode`` aside) so
+    ``/v1/stats`` scrapers never need schema branches on executor mode.
+    """
+    return {
+        "mode": "inline",
+        "num_workers": 0,
+        "dispatched_batches": 0,
+        "executed_batches": [],
+        "stolen_batches": 0,
+        "split_batches": 0,
+        "rejected_requests": 0,
+        "crashed_batches": 0,
+        "dead_workers": 0,
+        "max_backlog_observed": 0,
+        "backlog_requests": 0,
+        "queued_batches": [],
+        "in_flight_batches": 0,
+        "warmed_models": 0,
+        "warm_failures": 0,
+        "warm_seconds": [],
+        "transport": dict(
+            {legacy: 0 for legacy in TRANSPORT_COUNTER_NAMES},
+            **{legacy: 0 for legacy in TRANSPORT_GAUGE_NAMES},
+        ),
+    }
 
 
 @dataclass
@@ -254,9 +335,9 @@ class _WorkerProcess:
         self.control_bytes_received = 0
         self.batches_run = 0
         # Last compiled-counter snapshot seen from the child: batch replies
-        # carry the child's cumulative totals, and the parent folds only the
-        # delta into its own process-wide counters.
-        self._compiled_seen = {}
+        # carry the child's cumulative totals, and counter_totals() republishes
+        # them (dotted) for the pool's worker->parent merge to delta-fold.
+        self._compiled_last = {}
         self.process = ctx.Process(target=_process_worker_main,
                                    args=(child_conn, max_loaded),
                                    name=name, daemon=True)
@@ -314,29 +395,32 @@ class _WorkerProcess:
             snapshot = self._roundtrip(("batch", task.artifact_path,
                                         task.generation,
                                         staged.descriptors()))
-            self._fold_compiled(snapshot)
+            if isinstance(snapshot, dict):
+                self._compiled_last = snapshot
             self.batches_run += 1
             return staged.read_responses()
         finally:
             staged.release()
 
-    def _fold_compiled(self, snapshot):
-        """Fold the child's cumulative compile counters into this process."""
-        if not isinstance(snapshot, dict):
-            return
-        from ..inference.compiled import fold_compiled_counters
+    def counter_totals(self):
+        """This worker's cumulative counters under their dotted metric names.
 
-        delta = {key: value - self._compiled_seen.get(key, 0)
-                 for key, value in snapshot.items()}
-        self._compiled_seen = snapshot
-        fold_compiled_counters(delta)
-
-    def transport_totals(self):
-        """Cumulative transport counters (folded into the pool on retire)."""
-        totals = self.arena.stats()
-        totals["control_bytes_sent"] = self.control_bytes_sent
-        totals["control_bytes_received"] = self.control_bytes_received
-        totals["batches_run"] = self.batches_run
+        The pool's :class:`~repro.serving.metrics.WorkerCounterMerge` folds
+        these after every batch, at snapshot time and on retirement — the one
+        worker->parent path shared by the shm-transport counters and the
+        compile counters the child piggybacks on its batch replies.
+        """
+        arena = self.arena.stats()
+        totals = {dotted: arena[legacy]
+                  for legacy, dotted in TRANSPORT_COUNTER_NAMES.items()
+                  if legacy in arena}
+        totals["transport.control.bytes_sent"] = self.control_bytes_sent
+        totals["transport.control.bytes_received"] = self.control_bytes_received
+        totals["transport.batches.run"] = self.batches_run
+        for legacy, value in self._compiled_last.items():
+            dotted = COMPILED_METRIC_NAMES.get(legacy)
+            if dotted is not None:
+                totals[dotted] = value
         return totals
 
     def close(self, kill=False):
@@ -455,7 +539,7 @@ class WorkerPool:
     def __init__(self, num_workers=2, *, mode="thread", max_queue_depth=256,
                  max_loaded_per_worker=4, steal=True, split=True,
                  mp_context="spawn", segment_bytes=DEFAULT_SEGMENT_BYTES,
-                 name="imputation-pool"):
+                 name="imputation-pool", metrics=None):
         if num_workers < 1:
             raise ValueError("num_workers must be a positive integer")
         if mode not in ("thread", "process"):
@@ -479,16 +563,27 @@ class WorkerPool:
         self._started = False
         self._stopping = False
         self._drain = True
-        # Counters (read via .stats()).
-        self.dispatched_batches = 0
+        # Instrumentation: every scheduling/transport counter lives in the
+        # typed registry under its dotted stable name; .stats() and the
+        # legacy attribute properties below are thin shims over it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.declare(executor_metric_schema())
+        self.metrics.gauge("pool.workers", fn=lambda: self.num_workers)
+        self.metrics.gauge("pool.workers.dead",
+                           fn=lambda: sum(self.dead_workers))
+        self.metrics.gauge("pool.backlog", fn=self.backlog)
+        self.metrics.gauge("pool.batches.queued", fn=self._queued_batches)
+        self.metrics.gauge("pool.batches.inflight", fn=self._inflight_batches)
+        self.metrics.gauge("transport.segments.active",
+                           fn=lambda: self._live_arena_stat("segments_active"))
+        self.metrics.gauge("transport.slots.live",
+                           fn=lambda: self._live_arena_stat("live_slots"))
+        # The one worker->parent counter path: thread workers fold their
+        # loop-local totals, process workers fold the child's cumulative
+        # transport + piggybacked compile counters (see _fold_worker_counters).
+        self._merge = WorkerCounterMerge(self._fold_worker_counters)
+        # Per-worker views (legacy stats lists, not part of the flat schema).
         self.executed_batches = [0] * self.num_workers
-        self.stolen_batches = 0
-        self.split_batches = 0
-        self.rejected_requests = 0
-        self.crashed_batches = 0
-        self.max_backlog_observed = 0
-        self.warmed_models = 0
-        self.warm_failures = 0
         self.warm_seconds = [0.0] * self.num_workers
         # A worker whose child process died and has not been respawned yet
         # (process mode; respawn is lazy, on the worker's next batch).  The
@@ -499,16 +594,107 @@ class WorkerPool:
         # a split never forces a cold model load.  Approximate on purpose: a
         # stale entry costs one reload, never correctness.
         self._resident = [set() for _ in range(self.num_workers)]
-        # Live child processes by worker id (process mode) and the transport
-        # counters of already retired ones — together they make
-        # ``transport_stats`` cover the pool's whole lifetime.
+        # Live child processes by worker id (process mode); retired children
+        # have already folded their final counters through the merge, so the
+        # registry covers the pool's whole lifetime.
         self._processes = [None] * self.num_workers
-        self._transport_totals = {
-            "segments_created": 0, "segments_unlinked": 0,
-            "batches_staged": 0, "shm_bytes_staged": 0, "rebuilds": 0,
-            "control_bytes_sent": 0, "control_bytes_received": 0,
-            "batches_run": 0,
-        }
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing (one worker->parent merge; legacy attribute shims)
+    # ------------------------------------------------------------------
+    def _fold_worker_counters(self, deltas):
+        """Merge sink: route worker counter deltas to their parent sinks.
+
+        ``compiled.*`` deltas go to the process-global compile counters
+        (their registry instruments are callback gauges over those, so
+        folding them into registry counters too would double count); every
+        other delta lands on this pool's registry counters.
+        """
+        compiled = {}
+        metric = {}
+        for name, amount in deltas.items():
+            legacy = _DOTTED_TO_COMPILED.get(name)
+            if legacy is not None:
+                compiled[legacy] = amount
+            else:
+                metric[name] = amount
+        if compiled:
+            fold_compiled_counters(compiled)
+        if metric:
+            self.metrics.fold(metric)
+
+    def _fold_process(self, process):
+        """Delta-fold one child's cumulative counters into the parent."""
+        if process is not None:
+            self._merge.fold(process, process.counter_totals())
+
+    def _fold_live_processes(self):
+        """Fold every live child so a snapshot reflects in-progress work.
+
+        Retired children folded their final totals already; folding is
+        delta-idempotent, so live folds racing a retirement cannot double
+        count (the retired handle stays known to the merge).
+        """
+        with self._lock:
+            live = [process for process in self._processes
+                    if process is not None]
+        for process in live:
+            self._fold_process(process)
+
+    def _queued_batches(self):
+        with self._lock:
+            return sum(len(queue) for queue in self._queues)
+
+    def _inflight_batches(self):
+        with self._lock:
+            return sum(1 for task in self._in_flight if task is not None)
+
+    def _live_arena_stat(self, key):
+        """Sum one instantaneous arena gauge across the live children."""
+        with self._lock:
+            live = [process for process in self._processes
+                    if process is not None]
+        return sum(process.arena.stats()[key] for process in live)
+
+    def metrics_snapshot(self):
+        """Flat ``{dotted-name: value}`` snapshot of the executor metrics."""
+        self._fold_live_processes()
+        return self.metrics.snapshot()
+
+    # Legacy counter attributes, preserved as read-only views of the registry
+    # instruments (external code only ever read these; writes go through the
+    # instruments now).
+    @property
+    def dispatched_batches(self):
+        return self.metrics.counter("pool.batches.dispatched").value
+
+    @property
+    def stolen_batches(self):
+        return self.metrics.counter("pool.steals").value
+
+    @property
+    def split_batches(self):
+        return self.metrics.counter("pool.splits").value
+
+    @property
+    def rejected_requests(self):
+        return self.metrics.counter("pool.requests.rejected").value
+
+    @property
+    def crashed_batches(self):
+        return self.metrics.counter("pool.batches.crashed").value
+
+    @property
+    def max_backlog_observed(self):
+        return self.metrics.gauge("pool.backlog.max").value
+
+    @property
+    def warmed_models(self):
+        return self.metrics.counter("pool.warm.models").value
+
+    @property
+    def warm_failures(self):
+        return self.metrics.counter("pool.warm.failures").value
 
     # ------------------------------------------------------------------
     # Dispatch surface
@@ -541,7 +727,8 @@ class WorkerPool:
             self._start_locked()
             backlog = self._backlog_locked()
             if backlog + task.num_requests > self.max_queue_depth:
-                self.rejected_requests += task.num_requests
+                self.metrics.counter("pool.requests.rejected").add(
+                    task.num_requests)
                 raise ServiceOverloaded(
                     f"pool queue depth {backlog} + {task.num_requests} exceeds "
                     f"max_queue_depth={self.max_queue_depth}"
@@ -550,12 +737,12 @@ class WorkerPool:
             if parts is None:
                 self._queues[self.shard_of(task.spec)].append(task)
             else:
-                self.split_batches += 1
+                self.metrics.counter("pool.splits").inc()
                 for wid, part in parts:
                     self._queues[wid].append(part)
-            self.dispatched_batches += 1
-            self.max_backlog_observed = max(self.max_backlog_observed,
-                                            backlog + task.num_requests)
+            self.metrics.counter("pool.batches.dispatched").inc()
+            self.metrics.gauge("pool.backlog.max").set_max(
+                backlog + task.num_requests)
             self._cond.notify_all()
 
     def _split_locked(self, task, backlog):
@@ -605,28 +792,36 @@ class WorkerPool:
             )
 
     def stats(self):
-        """Scheduling counters plus the live queue/in-flight picture."""
+        """Legacy nested stats — a shim over :meth:`metrics_snapshot`.
+
+        The snapshot's dotted names are the source of truth; this keeps the
+        historical key set (plus the per-worker list views) for existing
+        callers, benchmarks and fixtures.
+        """
+        snapshot = self.metrics_snapshot()
         with self._lock:
-            return {
-                "mode": self.mode,
-                "num_workers": self.num_workers,
-                "dispatched_batches": self.dispatched_batches,
-                "executed_batches": list(self.executed_batches),
-                "stolen_batches": self.stolen_batches,
-                "split_batches": self.split_batches,
-                "rejected_requests": self.rejected_requests,
-                "crashed_batches": self.crashed_batches,
-                "dead_workers": sum(self.dead_workers),
-                "max_backlog_observed": self.max_backlog_observed,
-                "backlog_requests": self._backlog_locked(),
-                "queued_batches": [len(queue) for queue in self._queues],
-                "in_flight_batches": sum(
-                    1 for task in self._in_flight if task is not None),
-                "warmed_models": self.warmed_models,
-                "warm_failures": self.warm_failures,
-                "warm_seconds": list(self.warm_seconds),
-                "transport": self._transport_stats_locked(),
-            }
+            executed = list(self.executed_batches)
+            queued = [len(queue) for queue in self._queues]
+            warm_seconds = list(self.warm_seconds)
+        return {
+            "mode": self.mode,
+            "num_workers": self.num_workers,
+            "dispatched_batches": snapshot["pool.batches.dispatched"],
+            "executed_batches": executed,
+            "stolen_batches": snapshot["pool.steals"],
+            "split_batches": snapshot["pool.splits"],
+            "rejected_requests": snapshot["pool.requests.rejected"],
+            "crashed_batches": snapshot["pool.batches.crashed"],
+            "dead_workers": snapshot["pool.workers.dead"],
+            "max_backlog_observed": snapshot["pool.backlog.max"],
+            "backlog_requests": snapshot["pool.backlog"],
+            "queued_batches": queued,
+            "in_flight_batches": snapshot["pool.batches.inflight"],
+            "warmed_models": snapshot["pool.warm.models"],
+            "warm_failures": snapshot["pool.warm.failures"],
+            "warm_seconds": warm_seconds,
+            "transport": self._transport_stats_from(snapshot),
+        }
 
     def transport_stats(self):
         """Lifetime shm-transport counters (live workers + retired ones).
@@ -635,18 +830,14 @@ class WorkerPool:
         after :meth:`stop` is the zero-leak invariant the transport tests and
         the chaos benchmark gate on.
         """
-        with self._lock:
-            return self._transport_stats_locked()
+        return self._transport_stats_from(self.metrics_snapshot())
 
-    def _transport_stats_locked(self):
-        totals = dict(self._transport_totals)
-        totals["segments_active"] = 0
-        totals["live_slots"] = 0
-        for process in self._processes:
-            if process is None:
-                continue
-            for key, value in process.transport_totals().items():
-                totals[key] = totals.get(key, 0) + value
+    @staticmethod
+    def _transport_stats_from(snapshot):
+        totals = {legacy: snapshot[dotted]
+                  for legacy, dotted in TRANSPORT_COUNTER_NAMES.items()}
+        totals.update({legacy: snapshot[dotted]
+                       for legacy, dotted in TRANSPORT_GAUGE_NAMES.items()})
         return totals
 
     # ------------------------------------------------------------------
@@ -780,18 +971,17 @@ class WorkerPool:
         return process
 
     def _retire_process(self, wid, process, *, crashed=False):
-        """Fold a child's transport counters into the pool totals and drop
-        it.  A crashed child is already closed (its arena destroyed) by
-        :meth:`_WorkerProcess.run`; a clean retirement closes it here."""
+        """Fold a child's final counters through the merge and drop it.
+        A crashed child is already closed (its arena destroyed) by
+        :meth:`_WorkerProcess.run`; a clean retirement closes it here.
+        The handle stays known to the merge (not ``retire()``-d) so a stats
+        snapshot racing this retirement cannot re-fold the same totals."""
         if process is None:
             return
         if not crashed:
             process.close()
-        totals = process.transport_totals()
+        self._fold_process(process)
         with self._lock:
-            for key, value in totals.items():
-                if key in self._transport_totals:
-                    self._transport_totals[key] += value
             self._processes[wid] = None
             self._resident[wid].clear()
             if crashed:
@@ -799,9 +989,10 @@ class WorkerPool:
 
     def _warm_locked(self, wid, seconds, *, failed=False):
         if failed:
-            self.warm_failures += 1
+            self.metrics.counter("pool.warm.failures").inc()
         else:
-            self.warmed_models += 1
+            self.metrics.counter("pool.warm.models").inc()
+            self.metrics.counter("pool.warm.seconds").add(seconds)
             self.warm_seconds[wid] += seconds
 
     def _note_resident_locked(self, wid, artifact_path):
@@ -842,6 +1033,13 @@ class WorkerPool:
     def _worker_loop(self, wid):
         handle = BackendCache(self.max_loaded_per_worker)
         process = None
+        # This loop's cumulative worker-side totals, delta-folded into the
+        # registry through the same merge the process children use — one
+        # worker->parent path for both modes.  The source object is unique
+        # per loop run, so a restarted pool's fresh workers start from zero
+        # without ever subtracting history.
+        source = object()
+        local = {"pool.batches.executed": 0, "pool.batches.crashed": 0}
         try:
             while True:
                 with self._cond:
@@ -860,7 +1058,7 @@ class WorkerPool:
                     if isinstance(task, BatchTask):
                         task.stolen = stolen
                         if stolen:
-                            self.stolen_batches += 1
+                            self.metrics.counter("pool.steals").inc()
                 if isinstance(task, _WarmupTask):
                     try:
                         process = self._run_warmup(wid, task, handle, process)
@@ -903,8 +1101,10 @@ class WorkerPool:
                     # (SystemExit, KeyboardInterrupt) re-raise after the
                     # tickets are resolved and still take the worker down.
                     if isinstance(error, WorkerCrashed):
-                        with self._lock:
-                            self.crashed_batches += 1
+                        # Fold before on_error: callers observe the crash
+                        # counter the moment their ticket resolves.
+                        local["pool.batches.crashed"] += 1
+                        self._merge.fold(source, local)
                     task.on_error(error)
                     if not isinstance(error, Exception):
                         raise
@@ -918,5 +1118,9 @@ class WorkerPool:
                         self._in_flight[wid] = None
                         self.executed_batches[wid] += 1
                         self._cond.notify_all()
+                    local["pool.batches.executed"] += 1
+                    self._merge.fold(source, local)
+                    self._fold_process(process)
         finally:
+            self._merge.retire(source, local)
             self._retire_process(wid, process)

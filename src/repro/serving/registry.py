@@ -228,6 +228,19 @@ class ModelRegistry:
             return {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions, "resident": len(self._loaded)}
 
+    def register_metrics(self, metrics):
+        """Expose the LRU counters as ``registry.*`` metrics on ``metrics``.
+
+        Callback gauges over the live counters — this registry stays the
+        single source of truth; the snapshot just reads through it.
+        """
+        metrics.gauge("registry.cache.hits", fn=lambda: self.hits)
+        metrics.gauge("registry.cache.misses", fn=lambda: self.misses)
+        metrics.gauge("registry.cache.evictions", fn=lambda: self.evictions)
+        metrics.gauge("registry.models.resident",
+                      fn=lambda: self.stats()["resident"])
+        return metrics
+
     @staticmethod
     def _check_component(value, what):
         if not _COMPONENT.match(value or ""):

@@ -52,16 +52,41 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..inference.compiled import compiled_counters
+from ..inference.compiled import compiled_counters, register_compiled_metrics
 from ..metrics import imputation_metrics
 from . import faults
 from .errors import DeadlineExceeded, ServiceOverloaded
-from .pool import BatchTask, RequestPayload, execute_batch
+from .metrics import MetricsRegistry
+from .pool import (
+    BatchTask,
+    RequestPayload,
+    execute_batch,
+    inline_executor_stats,
+    zero_executor_snapshot,
+)
 from .registry import ModelRegistry, ResolvedModel
 from .resilience import CircuitBreaker, counts_as_breaker_failure
 
 __all__ = ["ImputationRequest", "ImputationResponse", "PendingImputation",
-           "ImputationService"]
+           "ImputationService", "SERVICE_METRIC_SCHEMA"]
+
+#: The stable ``service.*`` metric schema every service registers up front,
+#: so a snapshot's key set never depends on which code paths have run.
+SERVICE_METRIC_SCHEMA = {
+    "service.requests.served": "counter",
+    "service.requests.coalesced": "counter",
+    "service.requests.degraded": "counter",
+    "service.requests.inflight": "gauge",
+    "service.batches": "counter",
+    "service.batch.max_requests": "gauge",
+    "service.batch.seconds": "histogram",
+    "service.retries": "counter",
+    "service.rejections.deadline": "counter",
+    "service.rejections.circuit": "counter",
+    "service.deadline.expired": "counter",
+    "service.queue.depth": "gauge",
+    "service.circuits.open": "gauge",
+}
 
 
 @dataclass
@@ -214,7 +239,8 @@ class ImputationService:
 
     def __init__(self, registry, *, max_batch_requests=16, max_delay_seconds=0.005,
                  seed=0, clock=time.monotonic, executor=None, max_queue_depth=None,
-                 retry_policy=None, circuit_policy=None, fallback=None):
+                 retry_policy=None, circuit_policy=None, fallback=None,
+                 metrics=None):
         if not isinstance(registry, ModelRegistry):
             raise TypeError("registry must be a ModelRegistry")
         if max_batch_requests < 1:
@@ -254,16 +280,20 @@ class ImputationService:
         self._retry_lock = threading.Lock()
         self._retry_rng = np.random.default_rng(
             np.random.SeedSequence([int(seed) if np.isscalar(seed) else 0, 0x7e7]))
-        # Serving counters (see .stats()).
-        self.requests_served = 0
-        self.batches = 0
-        self.coalesced_requests = 0
-        self.max_batch_observed = 0
-        self.retries = 0
-        self.degraded_served = 0
-        self.deadline_rejections = 0
-        self.circuit_rejections = 0
-        self.deadline_expired = 0
+        # Instrumentation: every serving counter lives in the typed registry
+        # under its dotted stable name; .stats() and the legacy attribute
+        # properties below are thin shims over .metrics_snapshot().  The
+        # registry LRU and the process-wide compile counters register
+        # themselves as read-through gauges, so one snapshot covers the
+        # whole stack.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.declare(SERVICE_METRIC_SCHEMA)
+        self.metrics.gauge("service.queue.depth", fn=self.pending)
+        self.metrics.gauge("service.requests.inflight",
+                           fn=lambda: self._inflight_requests)
+        self.metrics.gauge("service.circuits.open", fn=self._open_circuits)
+        registry.register_metrics(self.metrics)
+        register_compiled_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     # Client surface
@@ -416,8 +446,7 @@ class ImputationService:
             remaining = request.deadline.remaining(self.clock())
             expected = self.max_delay_seconds + self._expected_batch_seconds(key)
             if remaining < expected:
-                with self._lock:
-                    self.deadline_rejections += 1
+                self.metrics.counter("service.rejections.deadline").inc()
                 error = DeadlineExceeded(
                     f"deadline leaves {max(remaining, 0.0) * 1000.0:.1f} ms "
                     f"but queue wait + expected batch time is "
@@ -425,8 +454,7 @@ class ImputationService:
                 return error, remaining > 0.0
         breaker = self._breaker(key)
         if breaker is not None and not breaker.allow():
-            with self._lock:
-                self.circuit_rejections += 1
+            self.metrics.counter("service.rejections.circuit").inc()
             return breaker.reject_error(resolved.spec), True
         return None, False
 
@@ -442,8 +470,7 @@ class ImputationService:
         except Exception as error:
             ticket._resolve(None, error)
             return ticket
-        with self._lock:
-            self.degraded_served += 1
+        self.metrics.counter("service.requests.degraded").inc()
         ticket._resolve(ImputationResponse(
             model=resolved.spec,
             median=raw.median,
@@ -473,8 +500,8 @@ class ImputationService:
     def _backoff_sleep(self, attempts_made):
         """Sleep the policy's backoff before retry ``attempts_made`` (the
         jitter draw comes from the service's own RNG, never a request's)."""
+        self.metrics.counter("service.retries").inc()
         with self._retry_lock:
-            self.retries += 1
             delay = self.retry_policy.backoff_seconds(attempts_made,
                                                       self._retry_rng)
         time.sleep(delay)
@@ -492,35 +519,100 @@ class ImputationService:
         return any(snapshot["state"] == "open"
                    for snapshot in self.circuits().values())
 
+    def _open_circuits(self):
+        """How many circuits are currently open (gauge callback)."""
+        return sum(1 for snapshot in self.circuits().values()
+                   if snapshot["state"] == "open")
+
+    # Legacy counter attributes, now read-through views of the registry.
+    # They were plain mutable ints before the metrics redesign; external
+    # writes were never part of the contract, so properties are safe.
+    @property
+    def requests_served(self):
+        return self.metrics.counter("service.requests.served").value
+
+    @property
+    def batches(self):
+        return self.metrics.counter("service.batches").value
+
+    @property
+    def coalesced_requests(self):
+        return self.metrics.counter("service.requests.coalesced").value
+
+    @property
+    def max_batch_observed(self):
+        return self.metrics.gauge("service.batch.max_requests").value
+
+    @property
+    def retries(self):
+        return self.metrics.counter("service.retries").value
+
+    @property
+    def degraded_served(self):
+        return self.metrics.counter("service.requests.degraded").value
+
+    @property
+    def deadline_rejections(self):
+        return self.metrics.counter("service.rejections.deadline").value
+
+    @property
+    def deadline_expired(self):
+        return self.metrics.counter("service.deadline.expired").value
+
+    @property
+    def circuit_rejections(self):
+        return self.metrics.counter("service.rejections.circuit").value
+
+    def metrics_snapshot(self):
+        """One flat ``{dotted_name: number}`` snapshot of the whole stack.
+
+        The key set is stable across executor modes: executor metrics are
+        zero-filled when the service runs inline, live when a pool is
+        attached (folding its worker counters first).  Never call this while
+        holding the service or pool lock — gauge callbacks take them.
+        """
+        snapshot = zero_executor_snapshot()
+        if self.executor is not None and hasattr(self.executor, "metrics_snapshot"):
+            snapshot.update(self.executor.metrics_snapshot())
+        snapshot.update(self.metrics.snapshot())
+        return snapshot
+
     def stats(self):
         """Serving counters: batches, coalescing, queue depth, registry LRU,
-        executor — the scrape surface behind the gateway's ``/v1/stats``."""
-        average = self.requests_served / self.batches if self.batches else 0.0
-        with self._lock:
-            pending = sum(len(queue) for queue in self._queues.values())
-            inflight = self._inflight_requests
+        executor — the scrape surface behind the gateway's ``/v1/stats``.
+
+        Legacy nested-dict shim over :meth:`metrics_snapshot` (also embedded
+        under the ``"metrics"`` key).  Every section is always present —
+        ``executor`` zero-filled in inline mode, ``circuits`` empty without a
+        policy — so the key schema does not depend on configuration.
+        """
+        snapshot = self.metrics_snapshot()
+        served = snapshot["service.requests.served"]
+        batches = snapshot["service.batches"]
         stats = {
-            "requests_served": self.requests_served,
-            "batches": self.batches,
-            "average_batch_requests": average,
-            "max_batch_requests_observed": self.max_batch_observed,
-            "coalesced_requests": self.coalesced_requests,
-            "pending_requests": pending,
-            "inflight_requests": inflight,
-            "retries": self.retries,
-            "degraded_served": self.degraded_served,
-            "deadline_rejections": self.deadline_rejections,
-            "deadline_expired": self.deadline_expired,
-            "circuit_rejections": self.circuit_rejections,
+            "requests_served": served,
+            "batches": batches,
+            "average_batch_requests": served / batches if batches else 0.0,
+            "max_batch_requests_observed": snapshot["service.batch.max_requests"],
+            "coalesced_requests": snapshot["service.requests.coalesced"],
+            "pending_requests": snapshot["service.queue.depth"],
+            "inflight_requests": snapshot["service.requests.inflight"],
+            "retries": snapshot["service.retries"],
+            "degraded_served": snapshot["service.requests.degraded"],
+            "deadline_rejections": snapshot["service.rejections.deadline"],
+            "deadline_expired": snapshot["service.deadline.expired"],
+            "circuit_rejections": snapshot["service.rejections.circuit"],
             "registry": self.registry.stats(),
             # Trace-and-replay compilation counters, aggregated process-wide
             # (additive key — golden fixtures assert presence, not equality).
             "compiled": compiled_counters(),
+            "circuits": self.circuits(),
+            "metrics": snapshot,
         }
-        if self.circuit_policy is not None:
-            stats["circuits"] = self.circuits()
         if self.executor is not None and hasattr(self.executor, "stats"):
             stats["executor"] = self.executor.stats()
+        else:
+            stats["executor"] = inline_executor_stats()
         return stats
 
     # ------------------------------------------------------------------
@@ -621,8 +713,7 @@ class ImputationService:
         for entry in queue:
             deadline = entry.request.deadline
             if deadline is not None and deadline.expired(now):
-                with self._lock:
-                    self.deadline_expired += 1
+                self.metrics.counter("service.deadline.expired").inc()
                 entry.ticket._resolve(None, DeadlineExceeded(
                     "deadline expired while the request was queued"))
             else:
@@ -759,12 +850,13 @@ class ImputationService:
         """Resolve a served batch's tickets and update the counters."""
         batch_seconds = self.clock() - started
         key = (resolved.name, resolved.version)
+        self.metrics.counter("service.batches").inc()
+        self.metrics.counter("service.requests.served").add(len(entries))
+        self.metrics.gauge("service.batch.max_requests").set_max(len(entries))
+        self.metrics.histogram("service.batch.seconds").observe(batch_seconds)
+        if len(entries) > 1:
+            self.metrics.counter("service.requests.coalesced").add(len(entries))
         with self._lock:
-            self.batches += 1
-            self.requests_served += len(entries)
-            self.max_batch_observed = max(self.max_batch_observed, len(entries))
-            if len(entries) > 1:
-                self.coalesced_requests += len(entries)
             # Feed deadline admission: an EWMA of this model's batch time
             # (includes queue-to-worker wait in executor mode, which is the
             # latency a newly admitted request would actually see).

@@ -63,7 +63,29 @@ __all__ = [
     "SegmentAttachments",
     "decode_batch",
     "DEFAULT_SEGMENT_BYTES",
+    "TRANSPORT_COUNTER_NAMES",
+    "TRANSPORT_GAUGE_NAMES",
 ]
+
+#: Legacy arena/worker counter key -> dotted stable metric name (the
+#: ``transport.*`` section of the serving :class:`~repro.serving.metrics.
+#: MetricsRegistry` schema).  Counters are cumulative and fold worker->parent
+#: through the pool's WorkerCounterMerge; gauges are instantaneous reads of
+#: the live arenas.
+TRANSPORT_COUNTER_NAMES = {
+    "segments_created": "transport.segments.created",
+    "segments_unlinked": "transport.segments.unlinked",
+    "batches_staged": "transport.batches.staged",
+    "shm_bytes_staged": "transport.bytes_staged",
+    "rebuilds": "transport.rebuilds",
+    "control_bytes_sent": "transport.control.bytes_sent",
+    "control_bytes_received": "transport.control.bytes_received",
+    "batches_run": "transport.batches.run",
+}
+TRANSPORT_GAUGE_NAMES = {
+    "segments_active": "transport.segments.active",
+    "live_slots": "transport.slots.live",
+}
 
 #: Slot alignment — cache-line sized so staged tensors never share a line.
 _ALIGN = 64
